@@ -1,0 +1,68 @@
+"""Ablation: online vs offline trace collection.
+
+§III-C: online collection feeds the collector in real time but "could
+consume additional CPU and network bandwidth"; offline defers the
+transfer until after the experiment.  Compares agent-side CPU spent and
+the traced application's latency under both modes.
+"""
+
+from repro.core import FilterRule, GlobalConfig, TracepointSpec, TracingSpec, VNetTracer
+from repro.experiments.topologies import build_two_host_kvm
+from repro.net.packet import IPPROTO_UDP
+from repro.workloads.sockperf import SockperfClient, SockperfServer
+
+DURATION_NS = 400_000_000
+
+
+def _run(online: bool) -> dict:
+    scene = build_two_host_kvm(seed=21)
+    engine = scene.engine
+    SockperfServer(scene.vm2.node, scene.vm2_ip)
+    client = SockperfClient(scene.vm1.node, scene.vm1_ip, scene.vm2_ip, mps=5000)
+    tracer = VNetTracer(engine)
+    tracer.add_agent(scene.vm1.node)
+    tracer.add_agent(scene.vm2.node)
+    spec = TracingSpec(
+        rule=FilterRule(dst_port=11111, protocol=IPPROTO_UDP),
+        tracepoints=[
+            TracepointSpec(node=scene.vm1.node.name, hook="kprobe:udp_send_skb",
+                           label="send"),
+            TracepointSpec(node=scene.vm2.node.name,
+                           hook="kprobe:skb_copy_datagram_iovec", label="recv"),
+        ],
+        global_config=GlobalConfig(online_collection=online,
+                                   flush_interval_ns=5_000_000),
+    )
+    tracer.deploy(spec)
+    cpu0 = scene.vm1.node.cpus[0]
+    busy_before = cpu0.busy_ns
+    client.start(DURATION_NS, start_delay_ns=5_000_000)
+    engine.run(until=DURATION_NS + 200_000_000)
+    rows_before_collect = tracer.db.rows_inserted
+    tracer.collect()
+    return {
+        "avg_us": client.summary().avg_ns / 1e3,
+        "agent_cpu0_busy_us": (cpu0.busy_ns - busy_before) / 1e3,
+        "rows_live": rows_before_collect,
+        "rows_total": tracer.db.rows_inserted,
+    }
+
+
+def test_ablation_online_vs_offline(benchmark, once, report):
+    def scenario():
+        return {"offline": _run(False), "online": _run(True)}
+
+    results = once(scenario)
+    rows = {}
+    for mode, r in results.items():
+        rows[f"{mode} sockperf avg (us)"] = f"{r['avg_us']:.2f}"
+        rows[f"{mode} agent cpu0 busy (us)"] = f"{r['agent_cpu0_busy_us']:.0f}"
+        rows[f"{mode} rows before/after collect"] = f"{r['rows_live']} / {r['rows_total']}"
+    report("Ablation: online vs offline collection", rows)
+
+    # Online streams rows during the run; offline only at collect().
+    assert results["online"]["rows_live"] > 0
+    assert results["offline"]["rows_live"] == 0
+    # Online costs more agent CPU.
+    assert results["online"]["agent_cpu0_busy_us"] > results["offline"]["agent_cpu0_busy_us"]
+    assert results["online"]["rows_total"] == results["offline"]["rows_total"]

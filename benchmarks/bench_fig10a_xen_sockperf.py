@@ -1,0 +1,30 @@
+"""Fig. 10(a): Sockperf latency under Xen credit2 contention.
+
+Paper: 99.9th percentile latency increases ~22x when the I/O VM shares
+the pCPU with a CPU-bound VM; with ratelimit_us=0 latency is "close to
+the baseline".
+"""
+
+from repro.experiments.xen_case import run_fig10a
+
+DURATION_NS = 500_000_000
+
+
+def test_fig10a_sockperf_ratelimit_tail(benchmark, once, report):
+    results = once(run_fig10a, duration_ns=DURATION_NS)
+    base = results["baseline"].sockperf
+    rows = {}
+    for condition, result in results.items():
+        s = result.sockperf.scaled()
+        rows[f"{condition} avg (us)"] = f"{s['avg']:.1f}"
+        rows[f"{condition} p99.9 (us)"] = f"{s['p99.9']:.1f}"
+        rows[f"{condition} jitter range (us)"] = (
+            f"({result.jitter_range_us[0]:.1f}, {result.jitter_range_us[1]:.1f})"
+        )
+    ratio = results["shared"].sockperf.p999_ns / base.p999_ns
+    rows["shared p99.9 blowup [paper: ~22x]"] = f"{ratio:.1f}x"
+    report("Fig 10(a): sockperf under credit2 rate-limit contention", rows)
+
+    assert ratio > 8.0
+    fixed = results["shared+ratelimit0"].sockperf
+    assert fixed.p999_ns < 2 * base.p999_ns

@@ -1,0 +1,30 @@
+"""Fig. 10(b): Data Caching (memcached) latency under Xen contention.
+
+Paper: at a fixed 5000 rps (GET:SET 4:1, 4 workers x 20 connections),
+average and tail latency increase 4.7x and 7.5x on the shared core;
+ratelimit 0 restores them.
+"""
+
+from repro.experiments.xen_case import run_fig10b
+
+DURATION_NS = 500_000_000
+
+
+def test_fig10b_memcached_ratelimit(benchmark, once, report):
+    results = once(run_fig10b, duration_ns=DURATION_NS)
+    base = results["baseline"].latency
+    rows = {}
+    for condition, result in results.items():
+        s = result.latency.scaled()
+        rows[f"{condition} avg (us)"] = f"{s['avg']:.1f}"
+        rows[f"{condition} p99.9 (us)"] = f"{s['p99.9']:.1f}"
+    avg_ratio = results["shared"].latency.avg_ns / base.avg_ns
+    tail_ratio = results["shared"].latency.p999_ns / base.p999_ns
+    rows["shared avg blowup [paper: 4.7x]"] = f"{avg_ratio:.1f}x"
+    rows["shared p99.9 blowup [paper: 7.5x]"] = f"{tail_ratio:.1f}x"
+    report("Fig 10(b): memcached at 5000 rps under credit2 contention", rows)
+
+    assert 2.0 < avg_ratio < 12.0
+    assert 4.0 < tail_ratio < 25.0
+    fixed = results["shared+ratelimit0"].latency
+    assert fixed.avg_ns < 1.5 * base.avg_ns

@@ -1,0 +1,26 @@
+"""Fig. 12(b): VM-to-VM vs container-overlay throughput.
+
+Paper: "the Netperf TCP and UDP throughput between containers were just
+16.8% and 22.9% of that between VMs".
+"""
+
+from repro.experiments.container_case import run_fig12b
+
+DURATION_NS = 300_000_000
+
+
+def test_fig12b_overlay_throughput_collapse(benchmark, once, report):
+    results = once(run_fig12b, duration_ns=DURATION_NS)
+    rows = {}
+    for name, pair in results.items():
+        rows[f"{name} VM (Gbps)"] = f"{pair.vm_bps / 1e9:.2f}"
+        rows[f"{name} containers (Gbps)"] = f"{pair.container_bps / 1e9:.2f}"
+        paper = "16.8%" if "tcp" in name else "22.9%"
+        rows[f"{name} ratio [paper: {paper}]"] = f"{pair.ratio * 100:.1f}%"
+    report("Fig 12(b): netperf throughput, VM path vs overlay path", rows)
+
+    tcp, udp = results["netperf_tcp"], results["netperf_udp"]
+    # Shape: a small fraction of the VM numbers, UDP somewhat better.
+    assert 0.05 < tcp.ratio < 0.35
+    assert 0.10 < udp.ratio < 0.45
+    assert udp.ratio > tcp.ratio

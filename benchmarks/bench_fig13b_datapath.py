@@ -1,0 +1,28 @@
+"""Fig. 13(b): the packet data path, VM vs container overlay.
+
+Paper: "the data path in container networks is far more complex than
+that in VMs ... the packets travel across different layers repeatedly".
+The hop sequences below are reconstructed purely from vNetTracer
+records ordered by timestamp (scripts strip the VXLAN header to match
+the inner flow).
+"""
+
+from repro.experiments.container_case import run_fig13b
+
+
+def test_fig13b_datapath_depth(benchmark, once, report):
+    results = once(run_fig13b)
+    vm, container = results["vm"], results["container"]
+    report(
+        "Fig 13(b): receive-side data path",
+        {
+            "VM path": " -> ".join(vm.hops),
+            "container path": " -> ".join(container.hops),
+            "VM hops": len(vm.hops),
+            "container hops": len(container.hops),
+        },
+    )
+    assert len(container.hops) >= len(vm.hops) + 3
+    assert any("vxlan" in hop for hop in container.hops)
+    assert any("br-" in hop for hop in container.hops)
+    assert any("veth" in hop for hop in container.hops)

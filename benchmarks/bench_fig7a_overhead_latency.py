@@ -1,0 +1,28 @@
+"""Fig. 7(a): Sockperf latency with vs. without vNetTracer.
+
+Paper: "the average latency with vNetTracer increased less than 1%",
+no tail blowup, no added packet loss.
+"""
+
+from repro.experiments.overhead import run_fig7a
+
+DURATION_NS = 500_000_000
+
+
+def test_fig7a_sockperf_overhead(benchmark, once, report):
+    result = once(run_fig7a, duration_ns=DURATION_NS, mps=1000)
+    report(
+        "Fig 7(a): sockperf latency overhead",
+        {
+            "baseline avg (us)": f"{result.baseline.avg_ns / 1e3:.2f}",
+            "traced avg (us)": f"{result.traced.avg_ns / 1e3:.2f}",
+            "avg overhead (%) [paper: <1%]": f"{result.avg_overhead_pct:.2f}",
+            "baseline p99.9 (us)": f"{result.baseline.p999_ns / 1e3:.2f}",
+            "traced p99.9 (us)": f"{result.traced.p999_ns / 1e3:.2f}",
+            "p99.9 overhead (%) [paper: no burst]": f"{result.p999_overhead_pct:.2f}",
+            "added loss [paper: none]": result.traced_loss - result.baseline_loss,
+            "records collected": result.records_collected,
+        },
+    )
+    assert result.avg_overhead_pct < 2.0
+    assert result.traced_loss == result.baseline_loss == 0

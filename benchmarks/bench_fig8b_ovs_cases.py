@@ -1,0 +1,21 @@
+"""Fig. 8(b): Sockperf latency through OVS under congestion cases.
+
+Paper: "the tail latency of Sockperf in Case II and Case III increased
+significantly compared to the latency in the uncongested network."
+"""
+
+from repro.experiments.ovs_case import run_fig8b
+
+DURATION_NS = 400_000_000
+
+
+def test_fig8b_sockperf_latency_cases(benchmark, once, report):
+    results = once(run_fig8b, duration_ns=DURATION_NS)
+    rows = {}
+    for case, summary in results.items():
+        s = summary.scaled()
+        rows[f"Case {case} avg (us)"] = f"{s['avg']:.1f}"
+        rows[f"Case {case} p99.9 (us)"] = f"{s['p99.9']:.1f}"
+    report("Fig 8(b): sockperf latency, Cases I/II/III", rows)
+    assert results["II"].avg_ns > 5 * results["I"].avg_ns
+    assert results["III"].avg_ns > results["II"].avg_ns

@@ -1,0 +1,32 @@
+"""Fig. 9(a): latency decomposition inside the OVS data path.
+
+Paper: the OVS segment dominates and grows with congestion; the gap
+between II and II+ stays flat (ingress queue already saturated) while
+III -> III+ grows (more busy ingress ports stretch the switching).
+"""
+
+from repro.experiments.ovs_case import run_fig9a
+
+DURATION_NS = 300_000_000
+
+
+def test_fig9a_latency_decomposition(benchmark, once, report):
+    results = once(run_fig9a, duration_ns=DURATION_NS)
+    rows = {}
+    for case, decomposition in results.items():
+        sender = decomposition["sender_stack"].avg_ns / 1e3
+        ovs = decomposition["ovs"].avg_ns / 1e3
+        receiver = decomposition["receiver_stack"].avg_ns / 1e3
+        rows[f"Case {case} (sender/OVS/receiver us)"] = (
+            f"{sender:.1f} / {ovs:.1f} / {receiver:.1f}"
+        )
+    report("Fig 9(a): sender-stack / OVS / receiver-stack decomposition", rows)
+
+    ovs_avg = {case: d["ovs"].avg_ns for case, d in results.items()}
+    # OVS dominates whenever congested.
+    assert ovs_avg["II"] > 10 * results["II"]["sender_stack"].avg_ns
+    # II -> II+ flat (same saturated ingress queue).
+    assert abs(ovs_avg["II+"] - ovs_avg["II"]) < 0.25 * ovs_avg["II"]
+    # III adds processing delay; III+ adds more.
+    assert ovs_avg["III"] > 1.5 * ovs_avg["II"]
+    assert ovs_avg["III+"] > ovs_avg["III"]

@@ -1,0 +1,26 @@
+"""Fig. 9(b): OVS ingress policing restores Sockperf latency.
+
+Paper: with ingress_policing_rate=1e5 kbps and burst=1e4 kb on vnet0 and
+vnet1, "both the average and tail latency of Sockperf decreased
+significantly".
+"""
+
+from repro.experiments.ovs_case import run_case, run_fig9b
+
+DURATION_NS = 400_000_000
+
+
+def test_fig9b_rate_limit_mitigation(benchmark, once, report):
+    results = once(run_fig9b, duration_ns=DURATION_NS)
+    baseline = run_case("I", duration_ns=DURATION_NS).sockperf
+    rows = {"Case I baseline avg (us)": f"{baseline.avg_ns / 1e3:.1f}"}
+    for key, summary in results.items():
+        s = summary.scaled()
+        rows[f"{key} avg (us)"] = f"{s['avg']:.1f}"
+        rows[f"{key} p99.9 (us)"] = f"{s['p99.9']:.1f}"
+    report("Fig 9(b): sockperf latency with OVS ingress policing", rows)
+    for case in ("II", "III"):
+        congested = results[case].avg_ns
+        limited = results[f"{case}+ratelimit"].avg_ns
+        assert limited < congested / 5
+        assert limited < 3 * baseline.avg_ns

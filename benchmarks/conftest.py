@@ -1,0 +1,33 @@
+"""Benchmark harness helpers.
+
+Each ``bench_figXX_*.py`` regenerates one table/figure of the paper.
+Scenario runs are deterministic simulations, so every benchmark executes
+its scenario once (``rounds=1``) -- the interesting output is the
+*measured shape* printed next to the paper's numbers, recorded into the
+pytest-benchmark ``extra_info`` so ``--benchmark-json`` captures it.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a deterministic scenario exactly once under pytest-benchmark."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner
+
+
+@pytest.fixture
+def report(benchmark):
+    """Print a paper-vs-measured block and attach it to the benchmark."""
+
+    def _report(title: str, rows: dict) -> None:
+        print(f"\n=== {title} ===")
+        for key, value in rows.items():
+            print(f"  {key}: {value}")
+            benchmark.extra_info[key] = str(value)
+
+    return _report

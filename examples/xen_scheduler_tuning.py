@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Case Study II walkthrough: tuning the Xen credit2 rate limit.
+
+Reproduces §IV-D: a 1-vCPU Xen VM (its server app inside a container)
+shares a physical core with a CPU-hog VM.  The scheduler's 1000 us
+context-switch rate limit makes every inbound packet wait, blowing up
+tail latency ~20x.  vNetTracer's cross-boundary decomposition pins the
+delay on the vif1.0 -> eth1 segment (Dom0 backend to guest frontend),
+i.e. scheduling, not the data path.  Setting ratelimit_us=0 restores
+baseline latency.
+
+Run:  python examples/xen_scheduler_tuning.py
+"""
+
+from repro.experiments.xen_case import (
+    run_fig10a_condition,
+    run_fig10b_condition,
+    run_fig11_condition,
+)
+
+
+def main() -> None:
+    print("== Sockperf (UDP, via container on the Xen VM) ==")
+    baseline = None
+    for condition in ("baseline", "shared", "shared+ratelimit0"):
+        result = run_fig10a_condition(condition, duration_ns=500_000_000)
+        s = result.sockperf.scaled()
+        if baseline is None:
+            baseline = s
+        print(f"  {condition:20s} avg {s['avg']:8.1f} us  "
+              f"p99.9 {s['p99.9']:8.1f} us  ({s['p99.9'] / baseline['p99.9']:.1f}x)  "
+              f"jitter ({result.jitter_range_us[0]:.1f}, {result.jitter_range_us[1]:.1f}) us")
+
+    print("\n== Data Caching / memcached at 5000 rps, GET:SET 4:1 ==")
+    baseline = None
+    for condition in ("baseline", "shared", "shared+ratelimit0"):
+        result = run_fig10b_condition(condition, duration_ns=500_000_000)
+        s = result.latency.scaled()
+        if baseline is None:
+            baseline = s
+        print(f"  {condition:20s} avg {s['avg']:8.1f} us ({s['avg'] / baseline['avg']:.1f}x)  "
+              f"p99.9 {s['p99.9']:8.1f} us ({s['p99.9'] / baseline['p99.9']:.1f}x)")
+
+    print("\n== vNetTracer latency decomposition (500 packets) ==")
+    for condition in ("baseline", "shared"):
+        result = run_fig11_condition(condition, packets=300)
+        print(f"  [{condition}]  (clock skew estimate: "
+              f"{result.clock_skew_estimate_ns / 1e6:+.3f} ms)")
+        for key, summary in result.segment_summaries.items():
+            s = summary.scaled()
+            print(f"    {key:38s} avg {s['avg']:8.1f} us  max {s['max']:8.1f} us")
+        low, high = result.one_way_jitter_range_us
+        print(f"    sockperf jitter range: ({low:.1f}, {high:.1f}) us")
+
+
+if __name__ == "__main__":
+    main()

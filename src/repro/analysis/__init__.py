@@ -1,0 +1,17 @@
+"""Offline analysis helpers: report formatting over trace-DB metrics."""
+
+from repro.analysis.reports import (
+    comparison_table,
+    decomposition_table,
+    format_bps,
+    format_ns,
+    latency_table,
+)
+
+__all__ = [
+    "latency_table",
+    "decomposition_table",
+    "comparison_table",
+    "format_ns",
+    "format_bps",
+]

@@ -1,0 +1,106 @@
+"""Plain-text report formatting for trace analyses.
+
+The paper's collector feeds an operator who reads tables; these helpers
+render the same tables from :class:`~repro.workloads.stats.LatencySummary`
+objects and decomposition segments.  Everything returns strings so
+examples, benchmarks, and notebooks can print or log them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.metrics import SegmentLatency
+from repro.workloads.stats import LatencySummary
+
+
+def format_ns(value_ns: float) -> str:
+    """Human-scale time: ns / us / ms picked by magnitude."""
+    if value_ns >= 1e6:
+        return f"{value_ns / 1e6:.2f} ms"
+    if value_ns >= 1e3:
+        return f"{value_ns / 1e3:.2f} us"
+    return f"{value_ns:.0f} ns"
+
+
+def format_bps(value_bps: float) -> str:
+    """Human-scale rate: bps / Kbps / Mbps / Gbps."""
+    for unit, scale in (("Gbps", 1e9), ("Mbps", 1e6), ("Kbps", 1e3)):
+        if value_bps >= scale:
+            return f"{value_bps / scale:.2f} {unit}"
+    return f"{value_bps:.0f} bps"
+
+
+def _table(headers: Sequence[str], rows: List[Sequence[str]]) -> str:
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows)) if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    def line(cells):
+        return "  ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "  ".join("-" * w for w in widths)
+    return "\n".join([line(headers), separator] + [line(row) for row in rows])
+
+
+def latency_table(summaries: Dict[str, LatencySummary]) -> str:
+    """One row per labelled summary: count/avg/p50/p99/p99.9/max."""
+    rows = []
+    for label, summary in summaries.items():
+        rows.append(
+            [
+                label,
+                summary.count,
+                format_ns(summary.avg_ns),
+                format_ns(summary.p50_ns),
+                format_ns(summary.p99_ns),
+                format_ns(summary.p999_ns),
+                format_ns(summary.max_ns),
+            ]
+        )
+    return _table(["label", "n", "avg", "p50", "p99", "p99.9", "max"], rows)
+
+
+def decomposition_table(segments: Sequence[SegmentLatency]) -> str:
+    """End-to-end decomposition with per-segment share of the total."""
+    summaries = [segment.summary() for segment in segments]
+    total_avg = sum(s.avg_ns for s in summaries)
+    rows = []
+    for segment, summary in zip(segments, summaries):
+        share = 100.0 * summary.avg_ns / total_avg if total_avg else 0.0
+        rows.append(
+            [
+                f"{segment.from_label} -> {segment.to_label}",
+                summary.count,
+                format_ns(summary.avg_ns),
+                format_ns(summary.max_ns),
+                f"{share:.1f}%",
+            ]
+        )
+    rows.append(["TOTAL", summaries[0].count if summaries else 0,
+                 format_ns(total_avg), "", "100.0%"])
+    return _table(["segment", "n", "avg", "max", "share"], rows)
+
+
+def comparison_table(
+    baseline_label: str,
+    baseline: LatencySummary,
+    others: Dict[str, LatencySummary],
+) -> str:
+    """Conditions against a baseline, with blowup factors (Fig. 10 style)."""
+    rows = [
+        [baseline_label, format_ns(baseline.avg_ns), "1.0x",
+         format_ns(baseline.p999_ns), "1.0x"]
+    ]
+    for label, summary in others.items():
+        rows.append(
+            [
+                label,
+                format_ns(summary.avg_ns),
+                f"{summary.avg_ns / baseline.avg_ns:.1f}x",
+                format_ns(summary.p999_ns),
+                f"{summary.p999_ns / baseline.p999_ns:.1f}x",
+            ]
+        )
+    return _table(["condition", "avg", "avg-x", "p99.9", "p99.9-x"], rows)

@@ -1,0 +1,5 @@
+"""Baseline tracers the paper compares against."""
+
+from repro.baselines.systemtap import SystemTapScript, SystemTapSession
+
+__all__ = ["SystemTapScript", "SystemTapSession"]

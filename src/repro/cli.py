@@ -1,0 +1,204 @@
+"""Command-line interface: regenerate paper figures from a shell.
+
+    python -m repro.cli list
+    python -m repro.cli run fig7a
+    python -m repro.cli run fig10a --duration-ms 300 --seed 11
+    python -m repro.cli run all
+
+Each figure prints its paper-vs-measured block; `run all` walks the
+whole evaluation (§IV).  The same runners back `benchmarks/`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+
+def _fig4(args) -> None:
+    from repro.experiments.clocksync_case import run_fig4_sweep
+
+    for r in run_fig4_sweep(seed=args.seed):
+        load = "loaded" if r.background_load else "idle"
+        print(
+            f"  offset {r.configured_offset_ns / 1e6:+7.1f} ms, "
+            f"drift {r.configured_drift_ppm:+5.0f} ppm, {load:6s}: "
+            f"true {r.true_skew_ns} ns, est {r.estimated_skew_ns} ns, "
+            f"err {r.error_ns} ns"
+        )
+
+
+def _fig7a(args) -> None:
+    from repro.experiments.overhead import run_fig7a
+
+    r = run_fig7a(seed=args.seed, duration_ns=args.duration_ns)
+    print(f"  baseline avg {r.baseline.avg_ns / 1e3:.2f} us, "
+          f"traced avg {r.traced.avg_ns / 1e3:.2f} us "
+          f"(+{r.avg_overhead_pct:.2f}%; paper <1%)")
+    print(f"  p99.9 {r.baseline.p999_ns / 1e3:.2f} -> {r.traced.p999_ns / 1e3:.2f} us; "
+          f"loss {r.baseline_loss} -> {r.traced_loss}; records {r.records_collected}")
+
+
+def _fig7b(args) -> None:
+    from repro.experiments.overhead import run_fig7b
+
+    for gbps, paper in ((1.0, "10%"), (10.0, "26.5%")):
+        r = run_fig7b(seed=args.seed, link_gbps=gbps, duration_ns=args.duration_ns)
+        print(f"  {gbps:g}G: baseline {r.baseline_bps / 1e6:.0f} Mbps | "
+              f"vNetTracer -{r.vnettracer_loss_pct:.1f}% | "
+              f"SystemTap -{r.systemtap_loss_pct:.1f}% (paper {paper})")
+
+
+def _fig8b(args) -> None:
+    from repro.experiments.ovs_case import run_fig8b
+
+    for case, summary in run_fig8b(seed=args.seed, duration_ns=args.duration_ns).items():
+        s = summary.scaled()
+        print(f"  Case {case:4s} avg {s['avg']:9.1f} us   p99.9 {s['p99.9']:9.1f} us")
+
+
+def _fig9a(args) -> None:
+    from repro.experiments.ovs_case import run_fig9a
+
+    for case, d in run_fig9a(seed=args.seed, duration_ns=args.duration_ns).items():
+        print(f"  Case {case:4s} sender {d['sender_stack'].avg_ns / 1e3:7.1f} us | "
+              f"OVS {d['ovs'].avg_ns / 1e3:9.1f} us | "
+              f"receiver {d['receiver_stack'].avg_ns / 1e3:7.1f} us")
+
+
+def _fig9b(args) -> None:
+    from repro.experiments.ovs_case import run_fig9b
+
+    for key, summary in run_fig9b(seed=args.seed, duration_ns=args.duration_ns).items():
+        s = summary.scaled()
+        print(f"  {key:15s} avg {s['avg']:9.1f} us   p99.9 {s['p99.9']:9.1f} us")
+
+
+def _fig10a(args) -> None:
+    from repro.experiments.xen_case import run_fig10a
+
+    results = run_fig10a(seed=args.seed, duration_ns=args.duration_ns)
+    base = results["baseline"].sockperf
+    for condition, r in results.items():
+        s = r.sockperf.scaled()
+        print(f"  {condition:20s} avg {s['avg']:8.1f} us  p99.9 {s['p99.9']:8.1f} us "
+              f"({r.sockperf.p999_ns / base.p999_ns:.1f}x)")
+
+
+def _fig10b(args) -> None:
+    from repro.experiments.xen_case import run_fig10b
+
+    results = run_fig10b(seed=args.seed, duration_ns=args.duration_ns)
+    base = results["baseline"].latency
+    for condition, r in results.items():
+        s = r.latency.scaled()
+        print(f"  {condition:20s} avg {s['avg']:8.1f} us ({r.latency.avg_ns / base.avg_ns:.1f}x)"
+              f"  p99.9 {s['p99.9']:8.1f} us ({r.latency.p999_ns / base.p999_ns:.1f}x)")
+
+
+def _fig11(args) -> None:
+    from repro.experiments.xen_case import run_fig11_condition
+
+    for condition in ("baseline", "shared"):
+        r = run_fig11_condition(condition, seed=args.seed, packets=400)
+        print(f"  [{condition}] (skew estimate {r.clock_skew_estimate_ns / 1e6:+.3f} ms)")
+        for key, summary in r.segment_summaries.items():
+            s = summary.scaled()
+            print(f"    {key:40s} avg {s['avg']:8.1f} us  max {s['max']:8.1f} us")
+
+
+def _fig12b(args) -> None:
+    from repro.experiments.container_case import run_fig12b
+
+    for name, pair in run_fig12b(seed=args.seed, duration_ns=args.duration_ns).items():
+        print(f"  {name:12s} VM {pair.vm_bps / 1e9:6.2f} Gbps | "
+              f"containers {pair.container_bps / 1e9:6.2f} Gbps | "
+              f"ratio {pair.ratio * 100:5.1f}%")
+
+
+def _fig13a(args) -> None:
+    from repro.experiments.container_case import run_fig13a
+
+    results = run_fig13a(seed=args.seed, duration_ns=args.duration_ns)
+    for path, r in results.items():
+        dist = ", ".join(f"cpu{c}:{f * 100:.1f}%" for c, f in r.cpu_distribution.items())
+        print(f"  {path:10s} goodput {r.goodput_bps / 1e9:5.2f} Gbps | "
+              f"net_rx_action {r.net_rx_rate_per_s:8.0f}/s | {dist}")
+    ratio = results["container"].net_rx_rate_per_s / results["vm"].net_rx_rate_per_s
+    print(f"  rate ratio {ratio:.2f}x (paper 4.54x)")
+
+
+def _fig13b(args) -> None:
+    from repro.experiments.container_case import run_fig13b
+
+    for path, r in run_fig13b(seed=args.seed).items():
+        print(f"  {path:10s} ({len(r.hops)} hops): {' -> '.join(r.hops)}")
+
+
+FIGURES: Dict[str, Callable] = {
+    "fig4": _fig4,
+    "fig7a": _fig7a,
+    "fig7b": _fig7b,
+    "fig8b": _fig8b,
+    "fig9a": _fig9a,
+    "fig9b": _fig9b,
+    "fig10a": _fig10a,
+    "fig10b": _fig10b,
+    "fig11": _fig11,
+    "fig12b": _fig12b,
+    "fig13a": _fig13a,
+    "fig13b": _fig13b,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Regenerate vNetTracer paper figures."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available figures")
+    run = sub.add_parser("run", help="run one figure (or 'all')")
+    run.add_argument("figure", choices=sorted(FIGURES) + ["all"])
+    run.add_argument("--seed", type=int, default=None,
+                     help="experiment seed (default: each runner's own)")
+    run.add_argument("--duration-ms", type=int, default=400,
+                     help="virtual measurement window per scenario")
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(FIGURES):
+            print(name)
+        return 0
+
+    args.duration_ns = args.duration_ms * 1_000_000
+    if args.seed is None:
+        # Each runner has its own default seed; expose a common one.
+        class _Defaults:
+            pass
+
+        args.seed = 7 if args.figure in ("fig4", "fig7a") else {
+            "fig7b": 11, "fig8b": 13, "fig9a": 13, "fig9b": 13,
+            "fig10a": 17, "fig10b": 17, "fig11": 17,
+            "fig12b": 23, "fig13a": 23, "fig13b": 23,
+        }.get(args.figure, 7)
+
+    names = sorted(FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        print(f"== {name} ==")
+        started = time.time()
+        if args.figure == "all":
+            args.seed = {"fig7b": 11, "fig8b": 13, "fig9a": 13, "fig9b": 13,
+                         "fig10a": 17, "fig10b": 17, "fig11": 17, "fig12b": 23,
+                         "fig13a": 23, "fig13b": 23}.get(name, 7)
+        FIGURES[name](args)
+        print(f"  ({time.time() - started:.1f} s wall)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,242 @@
+"""The per-node tracing agent (the daemon of §III-A/E).
+
+An agent sleeps until the dispatcher delivers a control package, then:
+
+1. compiles each tracepoint's script to eBPF bytecode
+   (:mod:`repro.core.compiler`);
+2. loads it -- verification (and JIT) time is charged on the node's
+   CPU 0, so deploying tracing is itself visible in the timeline;
+3. attaches it at the configured hook with the node's clock and a
+   per-agent perf-event consumer feeding the kernel ring buffer;
+4. periodically flushes the ring buffer to a local store and, online or
+   at collection time, ships batches to the collector with simulated
+   CPU + transfer costs;
+5. heartbeats to the collector.
+
+``teardown()`` detaches everything -- the paper's "reconfigured ...
+during the system runtime" path is deploy/teardown/deploy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.compiler import compile_script
+from repro.core.config import ControlPackage
+from repro.core.records import RECORD_BYTES, TraceRecord
+from repro.core.ringbuffer import FLUSH_FIXED_COST_NS, TraceRingBuffer
+from repro.ebpf.maps import PerCPUArrayMap, PerfEventArray
+from repro.ebpf.probes import EBPFAttachment
+from repro.ebpf.vm import ExecutionEnv
+from repro.net.stack import KernelNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.collector import RawDataCollector
+
+# Shipping a batch to the collector: syscall + send cost per batch plus
+# a per-byte serialization term (only when collection is online).
+BATCH_FIXED_COST_NS = 4_000
+BATCH_NS_PER_BYTE = 0.35
+
+
+class InstalledScript:
+    """Bookkeeping for one attached tracing script."""
+
+    def __init__(
+        self,
+        label: str,
+        hook: str,
+        attachment: EBPFAttachment,
+        perf_map: PerfEventArray,
+        counter_map: Optional[PerCPUArrayMap],
+        histogram_map: Optional[PerCPUArrayMap] = None,
+    ):
+        self.label = label
+        self.hook = hook
+        self.attachment = attachment
+        self.perf_map = perf_map
+        self.counter_map = counter_map
+        self.histogram_map = histogram_map
+
+    def counter_value(self) -> int:
+        if self.counter_map is None:
+            return 0
+        return self.counter_map.sum_u64(0)
+
+    def histogram(self) -> List[int]:
+        """Per-bucket totals aggregated across CPUs (log2 size hist)."""
+        if self.histogram_map is None:
+            return []
+        return [
+            self.histogram_map.sum_u64(i)
+            for i in range(self.histogram_map.max_entries)
+        ]
+
+
+class Agent:
+    """One monitoring daemon."""
+
+    def __init__(self, node: KernelNode, collector: "RawDataCollector"):
+        self.node = node
+        self.collector = collector
+        self.engine = node.engine
+        self.package: Optional[ControlPackage] = None
+        self.scripts: Dict[str, InstalledScript] = {}
+        self.ring: Optional[TraceRingBuffer] = None
+        self.local_store: List[bytes] = []
+        self.batches_sent = 0
+        self.records_forwarded = 0
+        self._heartbeat_timer = None
+        self._online = False
+        collector.register_agent(self)
+
+    # -- control plane -------------------------------------------------------
+
+    def install(self, package: ControlPackage) -> None:
+        """Deploy a control package (called on dispatcher delivery)."""
+        if self.scripts:
+            self.teardown()
+        self.package = package
+        cfg = package.global_config
+        self._online = cfg.online_collection
+        self.ring = TraceRingBuffer(
+            self.engine,
+            capacity_bytes=cfg.ring_buffer_bytes,
+            flush_interval_ns=cfg.flush_interval_ns,
+            on_flush=self._on_ring_flush,
+            name=f"{self.node.name}/ring",
+        )
+        self.ring.start()
+
+        for tracepoint in package.tracepoints:
+            perf_map = PerfEventArray(
+                num_cpus=len(self.node.cpus), name=f"perf:{tracepoint.label}"
+            )
+            perf_map.set_consumer(self._on_perf_record)
+            counter_map = None
+            if package.action.count:
+                counter_map = PerCPUArrayMap(
+                    value_size=8,
+                    max_entries=1,
+                    num_cpus=len(self.node.cpus),
+                    name=f"count:{tracepoint.label}",
+                )
+            histogram_map = None
+            if package.action.size_histogram:
+                from repro.core.compiler import HISTOGRAM_BUCKETS
+
+                histogram_map = PerCPUArrayMap(
+                    value_size=8,
+                    max_entries=HISTOGRAM_BUCKETS,
+                    num_cpus=len(self.node.cpus),
+                    name=f"hist:{tracepoint.label}",
+                )
+            program, maps = compile_script(
+                package.rule,
+                tracepoint,
+                package.action,
+                perf_map=perf_map,
+                counter_map=counter_map,
+                histogram_map=histogram_map,
+                jit=cfg.jit,
+            )
+            load_cost = program.load()
+            # Verification/JIT happens in the bpf() syscall on a host CPU.
+            self.node.cpus[0].submit(load_cost, None, tag="bpf-load")
+            env = ExecutionEnv(
+                maps=maps,
+                clock=self.node.clock.monotonic_ns,
+                prandom_u32=self.node.rng.fork(f"bpf/{tracepoint.label}").random_u32,
+            )
+            attachment = EBPFAttachment(
+                program,
+                env,
+                hook_id=tracepoint.tracepoint_id,
+                use_inner=tracepoint.strip_vxlan,
+                name=f"vnettracer:{tracepoint.label}",
+            )
+            self.node.hooks.attach(tracepoint.hook, attachment)
+            self.scripts[tracepoint.label] = InstalledScript(
+                tracepoint.label, tracepoint.hook, attachment, perf_map,
+                counter_map, histogram_map,
+            )
+
+        self._schedule_heartbeat()
+
+    def teardown(self) -> None:
+        """Detach all scripts and stop buffering (runtime reconfiguration)."""
+        for script in self.scripts.values():
+            self.node.hooks.detach(script.hook, script.attachment)
+        self.scripts.clear()
+        if self.ring is not None:
+            self.ring.flush()
+            self.ring.stop()
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+            self._heartbeat_timer = None
+
+    # -- data plane ------------------------------------------------------------
+
+    def _on_perf_record(self, _cpu: int, record: bytes) -> None:
+        if self.ring is not None:
+            self.ring.append(record)
+
+    def _on_ring_flush(self, batch: List[bytes]) -> None:
+        # The mmap'd /proc buffer: the drain itself is cheap and does
+        # not copy per record.
+        self.node.cpus[0].submit(FLUSH_FIXED_COST_NS, None, tag="ring-flush")
+        if self._online:
+            self._ship(batch)
+        else:
+            self.local_store.extend(batch)
+
+    def _ship(self, batch: List[bytes]) -> None:
+        cost = BATCH_FIXED_COST_NS + int(len(batch) * RECORD_BYTES * BATCH_NS_PER_BYTE)
+        self.batches_sent += 1
+        self.records_forwarded += len(batch)
+        records = [TraceRecord.unpack(raw) for raw in batch]
+
+        def deliver() -> None:
+            self.collector.receive_batch(self.node.name, records)
+
+        # Online shipping consumes agent CPU and takes network time.
+        self.node.cpus[0].submit(cost, lambda: self.engine.schedule(200_000, deliver))
+
+    def collect_local(self) -> int:
+        """Offline collection: drain the local store to the collector."""
+        if self.ring is not None:
+            self.ring.flush()
+        if not self.local_store:
+            return 0
+        batch, self.local_store = self.local_store, []
+        records = [TraceRecord.unpack(raw) for raw in batch]
+        self.records_forwarded += len(records)
+        self.batches_sent += 1
+        self.collector.receive_batch(self.node.name, records)
+        return len(records)
+
+    # -- heartbeats -------------------------------------------------------------
+
+    def _schedule_heartbeat(self) -> None:
+        interval = self.package.global_config.heartbeat_interval_ns
+        self._heartbeat_timer = self.engine.schedule(interval, self._heartbeat)
+
+    def _heartbeat(self) -> None:
+        self.collector.heartbeat(self.node.name)
+        self._schedule_heartbeat()
+
+    # -- introspection --------------------------------------------------------------
+
+    def counter(self, label: str) -> int:
+        script = self.scripts.get(label)
+        return script.counter_value() if script else 0
+
+    def histogram(self, label: str) -> List[int]:
+        script = self.scripts.get(label)
+        return script.histogram() if script else []
+
+    def dropped_records(self) -> int:
+        return self.ring.total_dropped if self.ring is not None else 0
+
+    def __repr__(self) -> str:
+        return f"<Agent {self.node.name} scripts={list(self.scripts)}>"

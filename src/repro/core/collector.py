@@ -1,0 +1,83 @@
+"""The raw data collector (master node, §III-A/C).
+
+Receives record batches from agents, resolves tracepoint IDs to labels,
+applies per-node clock-skew alignment, and stores rows in the
+:class:`~repro.core.tracedb.TraceDB`.  Because agents report
+periodically, the collector doubles as a heartbeat monitor "to
+guarantee that the agents work properly".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.core.records import TraceRecord
+from repro.core.tracedb import TraceDB
+from repro.sim.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.agent import Agent
+
+
+class RawDataCollector:
+    """Batch ingest + heartbeat monitoring."""
+
+    def __init__(self, engine: Engine, db: Optional[TraceDB] = None):
+        self.engine = engine
+        self.db = db or TraceDB()
+        self.agents: Dict[str, "Agent"] = {}
+        self._labels: Dict[int, str] = {}  # tracepoint_id -> label
+        self._last_heartbeat_ns: Dict[str, int] = {}
+        self.batches_received = 0
+        self.records_received = 0
+        self.unknown_tracepoint_records = 0
+
+    # -- registration ---------------------------------------------------------
+
+    def register_agent(self, agent: "Agent") -> None:
+        self.agents[agent.node.name] = agent
+        self._last_heartbeat_ns[agent.node.name] = self.engine.now
+
+    def register_labels(self, labels: Dict[int, str]) -> None:
+        """Tracepoint-id -> label mapping from the deployed spec."""
+        self._labels.update(labels)
+
+    # -- ingest -----------------------------------------------------------------
+
+    def receive_batch(self, node: str, records: List[TraceRecord]) -> None:
+        self.batches_received += 1
+        for record in records:
+            label = self._labels.get(record.tracepoint_id)
+            if label is None:
+                self.unknown_tracepoint_records += 1
+                label = f"tracepoint-{record.tracepoint_id}"
+            self.db.insert(node, label, record)
+            self.records_received += 1
+        self._last_heartbeat_ns[node] = self.engine.now
+
+    def collect_all_offline(self) -> int:
+        """Pull every agent's local store (offline collection mode)."""
+        total = 0
+        for agent in self.agents.values():
+            total += agent.collect_local()
+        return total
+
+    # -- heartbeat monitoring --------------------------------------------------------
+
+    def heartbeat(self, node: str) -> None:
+        self._last_heartbeat_ns[node] = self.engine.now
+
+    def stale_agents(self, max_age_ns: int) -> List[str]:
+        """Agents that have not reported within ``max_age_ns``."""
+        now = self.engine.now
+        return [
+            node
+            for node, last in self._last_heartbeat_ns.items()
+            if now - last > max_age_ns
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"<RawDataCollector records={self.records_received} "
+            f"agents={sorted(self.agents)}>"
+        )

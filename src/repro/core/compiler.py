@@ -1,0 +1,268 @@
+"""Compile tracing configuration into eBPF bytecode.
+
+This is the heart of vNetTracer's programmability: a
+:class:`~repro.core.config.FilterRule` + :class:`TracepointSpec` +
+:class:`ActionSpec` become a real program for :mod:`repro.ebpf`'s VM --
+filter comparisons against context fields, trace-ID extraction from the
+packet *bytes* (UDP trailer at ``data_end - 4`` or the TCP option just
+before the payload), a per-CPU counter bump, and a 24-byte record
+written through ``perf_event_output``.
+
+Programs the compiler emits pass the verifier (DAG control flow, all
+registers initialized, frame-bounded stack accesses) -- tests assert
+this for every rule shape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core import records
+from repro.core.config import (
+    ActionSpec,
+    FilterRule,
+    ID_MODE_TCP_OPTION,
+    ID_MODE_UDP_TRAILER,
+    TracepointSpec,
+)
+from repro.ebpf import context as ctx
+from repro.ebpf.assembler import Assembler
+from repro.ebpf.helpers import (
+    BPF_F_CURRENT_CPU,
+    HELPER_GET_PRANDOM_U32,
+    HELPER_GET_SMP_PROCESSOR_ID,
+    HELPER_KTIME_GET_NS,
+    HELPER_MAP_LOOKUP_ELEM,
+    HELPER_PERF_EVENT_OUTPUT,
+)
+from repro.ebpf.isa import R0, R1, R2, R3, R4, R5, R6, R7, R8, R10
+from repro.ebpf.maps import BPFMap, PerCPUArrayMap, PerfEventArray
+from repro.ebpf.vm import BPFProgram
+from repro.net.packet import TCPOPT_TRACE_ID
+
+MISS = "miss"
+
+# Stack slots (outside the record frame) for map keys.
+COUNTER_KEY_OFF = -32
+HIST_KEY_OFF = -40
+
+# The log2 size histogram covers lengths 0 .. 65535 -> 17 buckets.
+HISTOGRAM_BUCKETS = 17
+
+
+def compile_script(
+    rule: FilterRule,
+    tracepoint: TracepointSpec,
+    action: ActionSpec,
+    perf_map: Optional[PerfEventArray] = None,
+    counter_map: Optional[PerCPUArrayMap] = None,
+    histogram_map: Optional[PerCPUArrayMap] = None,
+    jit: bool = True,
+) -> Tuple[BPFProgram, Dict[int, BPFMap]]:
+    """Build (program, fd->map table) for one tracepoint."""
+    asm = Assembler()
+    maps: Dict[int, BPFMap] = {}
+
+    asm.mov_reg(R6, R1)  # keep ctx in a callee-ish register
+
+    comparisons = _emit_filter(asm, rule)
+
+    sampled = action.sample_shift > 0
+    if sampled:
+        # Trace ~1/2^n of matching packets: prandom & (2^n - 1) == 0.
+        asm.call(HELPER_GET_PRANDOM_U32)
+        asm.and_imm(R0, (1 << action.sample_shift) - 1)
+        asm.jne_imm(R0, 0, "skip_actions")
+
+    _emit_trace_id(asm, tracepoint.id_mode)  # leaves the ID in R8
+
+    if action.count:
+        if counter_map is None:
+            raise ValueError("count action requires a counter map")
+        maps[counter_map.fd] = counter_map
+        _emit_count(asm, counter_map)
+
+    if action.size_histogram:
+        if histogram_map is None:
+            raise ValueError("size_histogram action requires a histogram map")
+        maps[histogram_map.fd] = histogram_map
+        _emit_size_histogram(asm, histogram_map)
+
+    if action.record:
+        if perf_map is None:
+            raise ValueError("record action requires a perf event map")
+        maps[perf_map.fd] = perf_map
+        _emit_record(asm, tracepoint.tracepoint_id, perf_map)
+
+    asm.mov_imm(R0, 1)
+    asm.exit_()
+    if sampled:
+        asm.label("skip_actions")
+        asm.mov_imm(R0, 2)  # matched but sampled out
+        asm.exit_()
+    if comparisons:
+        # Only emit the miss block when some comparison can reach it;
+        # the verifier (like the kernel's) rejects unreachable code.
+        # (A /0 prefix rule emits no comparison at all.)
+        asm.label(MISS)
+        asm.mov_imm(R0, 0)
+        asm.exit_()
+
+    program = BPFProgram(
+        asm.assemble(), maps=maps, name=f"trace:{tracepoint.label}", jit=jit
+    )
+    return program, maps
+
+
+def _emit_filter(asm: Assembler, rule: FilterRule) -> int:
+    """Compare context fields against the rule; jump to MISS on mismatch.
+    Returns the number of comparisons emitted (0 for match-everything)."""
+    emitted = 0
+    if rule.ethertype is not None:
+        asm.ldx_h(R2, R6, ctx.OFF_PROTOCOL)
+        asm.jne_imm(R2, rule.ethertype, MISS)
+        emitted += 1
+    if rule.protocol is not None:
+        asm.ldx_b(R2, R6, ctx.OFF_IP_PROTO)
+        asm.jne_imm(R2, rule.protocol, MISS)
+        emitted += 1
+    if rule.src_ip is not None:
+        emitted += _emit_ip_match(asm, ctx.OFF_SRC_IP, rule.src_ip.value,
+                                  rule.src_prefix_len)
+    if rule.dst_ip is not None:
+        emitted += _emit_ip_match(asm, ctx.OFF_DST_IP, rule.dst_ip.value,
+                                  rule.dst_prefix_len)
+    if rule.src_port is not None:
+        asm.ldx_h(R2, R6, ctx.OFF_SRC_PORT)
+        asm.jne_imm(R2, rule.src_port, MISS)
+        emitted += 1
+    if rule.dst_port is not None:
+        asm.ldx_h(R2, R6, ctx.OFF_DST_PORT)
+        asm.jne_imm(R2, rule.dst_port, MISS)
+        emitted += 1
+    return emitted
+
+
+def _emit_ip_match(asm: Assembler, field_off: int, ip_value: int, prefix_len: int) -> int:
+    """Mask-and-compare an IPv4 field against ip/prefix; returns the
+    number of comparisons emitted."""
+    if prefix_len == 0:
+        return 0  # /0 matches everything
+    mask = (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF
+    asm.ldx_w(R2, R6, field_off)
+    if prefix_len < 32:
+        asm.mov32_imm(R3, mask)
+        asm._alu(0x50, R2, 0x07, src=R3, use_reg=True)  # and r2, r3
+    # 32-bit immediates are sign-extended by MOV; compare via a
+    # register holding the zero-extended constant.
+    asm.mov32_imm(R3, ip_value & mask)
+    asm.jne_reg(R2, R3, MISS)
+    return 1
+
+
+def _emit_size_histogram(asm: Assembler, histogram_map: PerCPUArrayMap) -> None:
+    """hist[log2(packet_len)] += 1, computed with an unrolled
+    shift-and-accumulate (no loops: the control flow stays a DAG)."""
+    asm.ldx_w(R2, R6, ctx.OFF_LEN)  # value being bucketed
+    asm.mov_imm(R3, 0)  # bucket index
+    for shift in (8, 4, 2, 1):
+        skip = f"hist_skip_{shift}"
+        asm.jlt_imm(R2, 1 << shift, skip)
+        asm.rsh_imm(R2, shift)
+        asm.add_imm(R3, shift)
+        asm.label(skip)
+    # values >= 2 land one bucket up (ceil-ish log2 of the leading bit);
+    # bucket = index of the highest set bit + 1 for nonzero lengths.
+    asm.jeq_imm(R2, 0, "hist_zero")
+    asm.add_imm(R3, 1)
+    asm.label("hist_zero")
+    asm.stx_w(R10, R3, HIST_KEY_OFF)
+    asm.ld_map_fd(R1, histogram_map.fd)
+    asm.mov_reg(R2, R10)
+    asm.add_imm(R2, HIST_KEY_OFF)
+    asm.call(HELPER_MAP_LOOKUP_ELEM)
+    asm.jeq_imm(R0, 0, "hist_done")
+    asm.ldx_dw(R2, R0, 0)
+    asm.add_imm(R2, 1)
+    asm.stx_dw(R0, R2, 0)
+    asm.label("hist_done")
+
+
+def histogram_bucket(length: int) -> int:
+    """Reference implementation of the in-program bucketing (tests and
+    user-space decoding): bucket 0 holds length 0, bucket k holds
+    lengths in [2^(k-1), 2^k)."""
+    return length.bit_length()
+
+
+def _emit_trace_id(asm: Assembler, id_mode: str) -> None:
+    """Extract the in-packet trace ID into R8 (0 when absent).
+
+    The ID is read from the serialized packet bytes -- the same bytes a
+    kernel program would see -- via the context's data/data_end
+    pointers.  Byte order: the load is little-endian over big-endian
+    wire bytes; the value is therefore a fixed permutation of the
+    embedded ID, identical at every tracepoint, which is all record
+    correlation needs.
+    """
+    if id_mode == ID_MODE_UDP_TRAILER:
+        # id = *(u32*)(data_end - 4), guarded by data_end - 4 >= data.
+        asm.ldx_dw(R7, R6, ctx.OFF_DATA_END)
+        asm.sub_imm(R7, 4)
+        asm.ldx_dw(R2, R6, ctx.OFF_DATA)
+        asm.mov_imm(R8, 0)
+        asm.jgt_reg(R2, R7, "id_done")  # data > data_end-4: no room
+        asm.ldx_w(R8, R7, 0)
+        asm.label("id_done")
+    elif id_mode == ID_MODE_TCP_OPTION:
+        # The embed places NOP,NOP,kind,len,id as the last 8 option
+        # bytes, i.e. the payload starts right after the id.  Check the
+        # option kind byte at (payload_off - 6) before trusting it.
+        asm.ldx_dw(R7, R6, ctx.OFF_DATA)
+        asm.ldx_w(R2, R6, ctx.OFF_PAYLOAD_OFF)
+        asm.add_reg(R7, R2)  # r7 = data + payload_off
+        asm.mov_imm(R8, 0)
+        asm.ldx_dw(R3, R6, ctx.OFF_DATA)
+        asm.add_imm(R3, 6)
+        asm.jgt_reg(R3, R7, "id_done")  # payload_off < 6: no option room
+        asm.ldx_b(R2, R7, -6)
+        asm.jne_imm(R2, TCPOPT_TRACE_ID, "id_done")
+        asm.ldx_w(R8, R7, -4)
+        asm.label("id_done")
+    else:
+        asm.mov_imm(R8, 0)
+
+
+def _emit_count(asm: Assembler, counter_map: PerCPUArrayMap) -> None:
+    """counter[0] += 1 on this CPU (lock-free per-CPU slot)."""
+    asm.st_imm(4, R10, COUNTER_KEY_OFF, 0)  # key = 0
+    asm.ld_map_fd(R1, counter_map.fd)
+    asm.mov_reg(R2, R10)
+    asm.add_imm(R2, COUNTER_KEY_OFF)
+    asm.call(HELPER_MAP_LOOKUP_ELEM)
+    asm.jeq_imm(R0, 0, "count_done")
+    asm.ldx_dw(R2, R0, 0)
+    asm.add_imm(R2, 1)
+    asm.stx_dw(R0, R2, 0)
+    asm.label("count_done")
+
+
+def _emit_record(asm: Assembler, tracepoint_id: int, perf_map: PerfEventArray) -> None:
+    """Build the 24-byte record on the stack and perf_event_output it."""
+    asm.stx_w(R10, R8, records.FRAME_OFF_TRACE_ID)
+    asm.mov_imm(R2, tracepoint_id)
+    asm.stx_w(R10, R2, records.FRAME_OFF_TRACEPOINT_ID)
+    asm.call(HELPER_KTIME_GET_NS)
+    asm.stx_dw(R10, R0, records.FRAME_OFF_TIMESTAMP)
+    asm.ldx_w(R2, R6, ctx.OFF_LEN)
+    asm.stx_w(R10, R2, records.FRAME_OFF_LEN)
+    asm.call(HELPER_GET_SMP_PROCESSOR_ID)
+    asm.stx_w(R10, R0, records.FRAME_OFF_CPU)
+
+    asm.mov_reg(R1, R6)
+    asm.ld_map_fd(R2, perf_map.fd)
+    asm.mov_imm(R3, BPF_F_CURRENT_CPU)
+    asm.mov_reg(R4, R10)
+    asm.add_imm(R4, records.FRAME_BASE)
+    asm.mov_imm(R5, records.RECORD_BYTES)
+    asm.call(HELPER_PERF_EVENT_OUTPUT)

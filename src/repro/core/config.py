@@ -1,0 +1,233 @@
+"""Control-plane configuration objects (§III-D: "highly modularized
+control package, which includes the tracing rules, tracepoint
+locations, actions and global configurations").
+
+A :class:`TracingSpec` is what the user gives the dispatcher; the
+dispatcher expands it into per-node :class:`ControlPackage` objects.
+All of it is plain data -- serializable to the "formatted configuration
+files" the paper's dispatcher emits (see :meth:`to_config_dict`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.addressing import IPv4Address
+from repro.net.packet import IPPROTO_TCP, IPPROTO_UDP
+
+_tracepoint_id_counter = itertools.count(1)
+
+
+class ConfigError(ValueError):
+    """Malformed tracing configuration."""
+
+
+@dataclass
+class FilterRule:
+    """Which packets a script matches; None fields are wildcards.
+
+    Mirrors the paper's example inputs: "the containerized application
+    source IP, destination IP, source port, destination port, etc."
+    IP matches may be narrowed to prefixes (``src_prefix_len`` /
+    ``dst_prefix_len``), compiled to mask-and-compare instructions.
+    """
+
+    src_ip: Optional[IPv4Address] = None
+    dst_ip: Optional[IPv4Address] = None
+    src_port: Optional[int] = None
+    dst_port: Optional[int] = None
+    protocol: Optional[int] = None  # IPPROTO_TCP / IPPROTO_UDP
+    ethertype: Optional[int] = None
+    src_prefix_len: int = 32
+    dst_prefix_len: int = 32
+
+    def __post_init__(self) -> None:
+        for port in (self.src_port, self.dst_port):
+            if port is not None and not 0 < port < 65536:
+                raise ConfigError(f"port out of range: {port}")
+        if self.protocol is not None and self.protocol not in (IPPROTO_TCP, IPPROTO_UDP):
+            raise ConfigError(f"unsupported protocol {self.protocol}")
+        for prefix in (self.src_prefix_len, self.dst_prefix_len):
+            if not 0 <= prefix <= 32:
+                raise ConfigError(f"prefix length out of range: {prefix}")
+
+    @classmethod
+    def for_flow(
+        cls,
+        src_ip: IPv4Address,
+        dst_ip: IPv4Address,
+        dst_port: int,
+        protocol: int = IPPROTO_UDP,
+    ) -> "FilterRule":
+        return cls(src_ip=src_ip, dst_ip=dst_ip, dst_port=dst_port, protocol=protocol)
+
+    def matches_everything(self) -> bool:
+        return all(
+            value is None
+            for value in (
+                self.src_ip,
+                self.dst_ip,
+                self.src_port,
+                self.dst_port,
+                self.protocol,
+                self.ethertype,
+            )
+        )
+
+
+# Trace-ID location modes the compiler knows how to read back.
+ID_MODE_NONE = "none"
+ID_MODE_UDP_TRAILER = "udp-trailer"
+ID_MODE_TCP_OPTION = "tcp-option"
+
+
+@dataclass
+class TracepointSpec:
+    """Where to attach: node + hook (+ VXLAN stripping + ID location).
+
+    ``hook`` uses the probe syntax: ``dev:vnet0``,
+    ``kprobe:udp_send_skb``, ``kretprobe:tcp_recvmsg`` ...
+    """
+
+    node: str
+    hook: str
+    strip_vxlan: bool = False
+    id_mode: str = ID_MODE_UDP_TRAILER
+    label: str = ""
+    tracepoint_id: int = field(default_factory=lambda: next(_tracepoint_id_counter))
+
+    def __post_init__(self) -> None:
+        if ":" not in self.hook:
+            raise ConfigError(f"hook {self.hook!r} must be '<kind>:<target>'")
+        if self.id_mode not in (ID_MODE_NONE, ID_MODE_UDP_TRAILER, ID_MODE_TCP_OPTION):
+            raise ConfigError(f"unknown id_mode {self.id_mode!r}")
+        if not self.label:
+            self.label = f"{self.node}:{self.hook}"
+
+
+@dataclass
+class ActionSpec:
+    """What a matching script does.
+
+    * record -- build a trace record (ID, timestamp, length, CPU) and
+      stream it out through the perf buffer;
+    * count -- bump a per-CPU counter map (cheap rate accounting);
+    * size_histogram -- log2-bucket the packet length into a per-CPU
+      histogram map, entirely in kernel (BCC ``lhist`` style): a size
+      distribution with zero per-packet records;
+    * sample_shift -- when > 0, record/count only ~1/2^n of matching
+      packets, decided in-program via ``get_prandom_u32`` (overhead
+      control for very hot tracepoints).
+    """
+
+    record: bool = True
+    count: bool = False
+    size_histogram: bool = False
+    sample_shift: int = 0
+
+    def __post_init__(self) -> None:
+        if not (self.record or self.count or self.size_histogram):
+            raise ConfigError("an action must record, count, or histogram")
+        if not 0 <= self.sample_shift <= 16:
+            raise ConfigError(f"sample_shift out of range: {self.sample_shift}")
+
+
+@dataclass
+class GlobalConfig:
+    """§III-D "global information like the database configuration"."""
+
+    table_prefix: str = "vnettracer"
+    ring_buffer_bytes: int = 64 * 1024
+    flush_interval_ns: int = 10_000_000  # 10 ms
+    online_collection: bool = False
+    heartbeat_interval_ns: int = 100_000_000  # 100 ms
+    control_latency_ns: int = 200_000  # dispatcher -> agent delivery
+    jit: bool = True
+
+    # The paper's footnote 1: "the buffer size range is from 32 bytes to
+    # 128k-16 bytes" (a kmalloc limitation).
+    MIN_RING_BYTES = 32
+    MAX_RING_BYTES = 128 * 1024 - 16
+
+    def __post_init__(self) -> None:
+        if not self.MIN_RING_BYTES <= self.ring_buffer_bytes <= self.MAX_RING_BYTES:
+            raise ConfigError(
+                f"ring buffer size {self.ring_buffer_bytes} outside "
+                f"[{self.MIN_RING_BYTES}, {self.MAX_RING_BYTES}]"
+            )
+
+
+@dataclass
+class TracingSpec:
+    """Everything the user asks for in one deployment."""
+
+    rule: FilterRule
+    tracepoints: List[TracepointSpec]
+    action: ActionSpec = field(default_factory=ActionSpec)
+    global_config: GlobalConfig = field(default_factory=GlobalConfig)
+
+    def __post_init__(self) -> None:
+        if not self.tracepoints:
+            raise ConfigError("a tracing spec needs at least one tracepoint")
+        labels = [tp.label for tp in self.tracepoints]
+        if len(set(labels)) != len(labels):
+            raise ConfigError(f"duplicate tracepoint labels: {labels}")
+
+    def tracepoints_for(self, node: str) -> List[TracepointSpec]:
+        return [tp for tp in self.tracepoints if tp.node == node]
+
+    def nodes(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for tp in self.tracepoints:
+            seen.setdefault(tp.node, None)
+        return list(seen)
+
+    def label_of(self, tracepoint_id: int) -> str:
+        for tp in self.tracepoints:
+            if tp.tracepoint_id == tracepoint_id:
+                return tp.label
+        return f"tracepoint-{tracepoint_id}"
+
+
+@dataclass
+class ControlPackage:
+    """What the dispatcher actually ships to one agent."""
+
+    node: str
+    rule: FilterRule
+    tracepoints: List[TracepointSpec]
+    action: ActionSpec
+    global_config: GlobalConfig
+
+    def to_config_dict(self) -> dict:
+        """The 'formatted configuration file' representation."""
+        return {
+            "node": self.node,
+            "rule": {
+                "src_ip": str(self.rule.src_ip) if self.rule.src_ip else None,
+                "dst_ip": str(self.rule.dst_ip) if self.rule.dst_ip else None,
+                "src_port": self.rule.src_port,
+                "dst_port": self.rule.dst_port,
+                "protocol": self.rule.protocol,
+                "ethertype": self.rule.ethertype,
+            },
+            "tracepoints": [
+                {
+                    "hook": tp.hook,
+                    "id": tp.tracepoint_id,
+                    "label": tp.label,
+                    "strip_vxlan": tp.strip_vxlan,
+                    "id_mode": tp.id_mode,
+                }
+                for tp in self.tracepoints
+            ],
+            "action": {"record": self.action.record, "count": self.action.count},
+            "global": {
+                "table_prefix": self.global_config.table_prefix,
+                "ring_buffer_bytes": self.global_config.ring_buffer_bytes,
+                "flush_interval_ns": self.global_config.flush_interval_ns,
+                "online": self.global_config.online_collection,
+            },
+        }

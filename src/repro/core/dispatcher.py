@@ -1,0 +1,73 @@
+"""The control data dispatcher (master node, §III-A).
+
+Takes a user's :class:`~repro.core.config.TracingSpec`, formats it into
+per-node :class:`~repro.core.config.ControlPackage` objects ("formatted
+configuration files in control packages and tracing scripts") and ships
+them to the agents over a simulated control channel.  Re-deploying a
+new spec at runtime reconfigures the agents without restarting the
+monitored network -- the programmability claim of §III-D.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TYPE_CHECKING
+
+from repro.core.config import ControlPackage, TracingSpec
+from repro.sim.engine import Engine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.agent import Agent
+
+
+class DispatchError(RuntimeError):
+    """A spec references a node with no registered agent."""
+
+
+class ControlDataDispatcher:
+    """Formats and distributes control packages."""
+
+    def __init__(self, engine: Engine, master_name: str = "master"):
+        self.engine = engine
+        self.master_name = master_name
+        self.agents: Dict[str, "Agent"] = {}
+        self.deployments = 0
+
+    def register_agent(self, agent: "Agent") -> None:
+        self.agents[agent.node.name] = agent
+
+    def build_packages(self, spec: TracingSpec) -> List[ControlPackage]:
+        packages = []
+        for node in spec.nodes():
+            packages.append(
+                ControlPackage(
+                    node=node,
+                    rule=spec.rule,
+                    tracepoints=spec.tracepoints_for(node),
+                    action=spec.action,
+                    global_config=spec.global_config,
+                )
+            )
+        return packages
+
+    def deploy(self, spec: TracingSpec) -> List[ControlPackage]:
+        """Ship the spec; agents install after the control latency."""
+        packages = self.build_packages(spec)
+        for package in packages:
+            agent = self.agents.get(package.node)
+            if agent is None:
+                raise DispatchError(
+                    f"no agent registered for node {package.node!r} "
+                    f"(have {sorted(self.agents)})"
+                )
+            self.engine.schedule(
+                spec.global_config.control_latency_ns, agent.install, package
+            )
+        self.deployments += 1
+        return packages
+
+    def undeploy_all(self) -> None:
+        for agent in self.agents.values():
+            agent.teardown()
+
+    def __repr__(self) -> str:
+        return f"<ControlDataDispatcher agents={sorted(self.agents)}>"

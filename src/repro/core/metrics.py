@@ -1,0 +1,165 @@
+"""Network performance metrics computed from trace records (§III-D).
+
+All functions operate on the :class:`~repro.core.tracedb.TraceDB`
+after collection, i.e. they are the paper's "additional calculation ...
+based on those raw tracing data":
+
+* :func:`throughput_at` -- bytes/time at one tracepoint, subtracting
+  the 4-byte trace ID per packet exactly as the paper's formula
+  sum(S_i - S_ID) / (T_N - T_1) does;
+* :func:`latency_between` -- per-trace-ID deltas between two
+  tracepoints, with cross-node skew already applied by the DB;
+* :func:`decompose_latency` -- the end-to-end decomposition across an
+  ordered tracepoint chain (Fig. 6 / Fig. 9a / Fig. 11);
+* :func:`jitter_of` -- consecutive-latency deltas (§III-D);
+* :func:`packet_loss` -- count/rate between two tracepoints.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Optional, Sequence
+
+from repro.core.tracedb import TraceDB
+from repro.workloads.stats import LatencySummary, summarize_latencies
+
+TRACE_ID_BYTES = 4
+
+
+class ThroughputResult(NamedTuple):
+    bits_per_second: float
+    packets: int
+    payload_bytes: int
+    window_ns: int
+
+
+class LossResult(NamedTuple):
+    sent: int
+    received: int
+    lost: int
+    rate: float
+
+
+class SegmentLatency(NamedTuple):
+    """One hop of a decomposition."""
+
+    from_label: str
+    to_label: str
+    latencies_ns: List[int]
+
+    def summary(self) -> LatencySummary:
+        return summarize_latencies(self.latencies_ns)
+
+
+def throughput_at(
+    db: TraceDB,
+    label: str,
+    subtract_id_bytes: bool = True,
+    start_ns: Optional[int] = None,
+    end_ns: Optional[int] = None,
+) -> ThroughputResult:
+    """Throughput observed at one tracepoint over its record window."""
+    rows = db.time_range(label, start_ns, end_ns)
+    if len(rows) < 2:
+        return ThroughputResult(0.0, len(rows), 0, 0)
+    rows = sorted(rows, key=lambda r: r.timestamp_ns)
+    overhead = TRACE_ID_BYTES if subtract_id_bytes else 0
+    payload = sum(max(0, row.packet_len - overhead) for row in rows)
+    window = rows[-1].timestamp_ns - rows[0].timestamp_ns
+    if window <= 0:
+        return ThroughputResult(0.0, len(rows), payload, 0)
+    return ThroughputResult(payload * 8 * 1e9 / window, len(rows), payload, window)
+
+
+def latency_between(db: TraceDB, from_label: str, to_label: str) -> List[int]:
+    """Per-packet latency between two tracepoints, matched by trace ID.
+
+    Timestamps are already master-aligned (DB applies the Cristian
+    skew), so cross-node pairs subtract directly:
+    dT = t2 - t1 (+ skew), §III-D."""
+    first = db.trace_ids_at(from_label)
+    second = db.trace_ids_at(to_label)
+    latencies = []
+    for trace_id, row_a in first.items():
+        row_b = second.get(trace_id)
+        if row_b is not None:
+            latencies.append(row_b.timestamp_ns - row_a.timestamp_ns)
+    return latencies
+
+
+def latency_pairs(db: TraceDB, from_label: str, to_label: str) -> List[tuple]:
+    """(start_timestamp, latency) pairs ordered by start time -- the
+    per-packet-index series of Fig. 11."""
+    first = db.trace_ids_at(from_label)
+    second = db.trace_ids_at(to_label)
+    pairs = []
+    for trace_id, row_a in first.items():
+        row_b = second.get(trace_id)
+        if row_b is not None:
+            pairs.append((row_a.timestamp_ns, row_b.timestamp_ns - row_a.timestamp_ns))
+    pairs.sort()
+    return pairs
+
+
+def decompose_latency(db: TraceDB, chain: Sequence[str]) -> List[SegmentLatency]:
+    """End-to-end latency decomposition along an ordered tracepoint
+    chain; only traces observed at every point contribute (the data
+    cleaning step of §III-C)."""
+    if len(chain) < 2:
+        raise ValueError("decomposition needs at least two tracepoints")
+    complete_ids = set(db.complete_traces(chain))
+    per_label: Dict[str, Dict[int, int]] = {
+        label: {
+            trace_id: row.timestamp_ns
+            for trace_id, row in db.trace_ids_at(label).items()
+            if trace_id in complete_ids
+        }
+        for label in chain
+    }
+    segments = []
+    for from_label, to_label in zip(chain, chain[1:]):
+        latencies = [
+            per_label[to_label][trace_id] - per_label[from_label][trace_id]
+            for trace_id in sorted(
+                per_label[from_label].keys() & per_label[to_label].keys(),
+                key=lambda t: per_label[from_label][t],
+            )
+        ]
+        segments.append(SegmentLatency(from_label, to_label, latencies))
+    return segments
+
+
+def jitter_of(latencies: Sequence[int]) -> List[int]:
+    """Jitter as defined in §III-D: dT_{i+1} - dT_i."""
+    return [latencies[i + 1] - latencies[i] for i in range(len(latencies) - 1)]
+
+
+def packet_loss(db: TraceDB, from_label: str, to_label: str) -> LossResult:
+    """N_loss = N_i - N_j and the loss rate between two points."""
+    sent = db.count(from_label)
+    received = db.count(to_label)
+    lost = max(0, sent - received)
+    rate = lost / sent if sent else 0.0
+    return LossResult(sent, received, lost, rate)
+
+
+def per_cpu_distribution(db: TraceDB, label: str) -> Dict[int, float]:
+    """Fraction of records per CPU at a tracepoint (Fig. 13a)."""
+    rows = db.table(label)
+    if not rows:
+        return {}
+    counts: Dict[int, int] = {}
+    for row in rows:
+        counts[row.cpu] = counts.get(row.cpu, 0) + 1
+    total = len(rows)
+    return {cpu: count / total for cpu, count in sorted(counts.items())}
+
+
+def event_rate(db: TraceDB, label: str) -> float:
+    """Records per second at a tracepoint (Fig. 13a's execution rate)."""
+    rows = sorted(db.table(label), key=lambda r: r.timestamp_ns)
+    if len(rows) < 2:
+        return 0.0
+    window = rows[-1].timestamp_ns - rows[0].timestamp_ns
+    if window <= 0:
+        return 0.0
+    return (len(rows) - 1) * 1e9 / window

@@ -1,0 +1,128 @@
+"""The trace database (the paper uses InfluxDB; §III-C: "all the
+tracing records at different tracepoints are dumped into the trace
+database, where records are indexed by their packet IDs").
+
+An in-memory time-series store: one table per tracepoint, a global
+index by trace ID, and the query/cleaning operations the metrics layer
+needs (timestamp alignment for clock skew, incomplete-record
+identification).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, NamedTuple, Optional
+
+from repro.core.records import TraceRecord
+
+
+class TraceRow(NamedTuple):
+    """One stored record, enriched with collection metadata."""
+
+    trace_id: int
+    tracepoint_id: int
+    timestamp_ns: int  # aligned to the master clock when skew is known
+    raw_timestamp_ns: int
+    packet_len: int
+    cpu: int
+    node: str
+    label: str
+
+
+class TraceDB:
+    """Tables keyed by tracepoint label + a trace-ID index."""
+
+    def __init__(self, table_prefix: str = "vnettracer"):
+        self.table_prefix = table_prefix
+        self._tables: Dict[str, List[TraceRow]] = {}
+        self._by_trace_id: Dict[int, List[TraceRow]] = {}
+        self._skew_ns: Dict[str, int] = {}  # node -> (master - node) offset
+        self.rows_inserted = 0
+
+    # -- clock alignment -----------------------------------------------------
+
+    def set_clock_skew(self, node: str, skew_ns: int) -> None:
+        """Record the estimated offset to ADD to ``node`` timestamps to
+        express them on the master clock."""
+        self._skew_ns[node] = int(skew_ns)
+
+    def clock_skew(self, node: str) -> int:
+        return self._skew_ns.get(node, 0)
+
+    # -- ingest ------------------------------------------------------------------
+
+    def insert(self, node: str, label: str, record: TraceRecord) -> TraceRow:
+        aligned = record.timestamp_ns + self._skew_ns.get(node, 0)
+        row = TraceRow(
+            trace_id=record.trace_id,
+            tracepoint_id=record.tracepoint_id,
+            timestamp_ns=aligned,
+            raw_timestamp_ns=record.timestamp_ns,
+            packet_len=record.packet_len,
+            cpu=record.cpu,
+            node=node,
+            label=label,
+        )
+        self._tables.setdefault(label, []).append(row)
+        if record.trace_id:
+            self._by_trace_id.setdefault(record.trace_id, []).append(row)
+        self.rows_inserted += 1
+        return row
+
+    # -- queries ------------------------------------------------------------------
+
+    def tables(self) -> List[str]:
+        return list(self._tables)
+
+    def table(self, label: str) -> List[TraceRow]:
+        return list(self._tables.get(label, []))
+
+    def rows_for_trace(self, trace_id: int) -> List[TraceRow]:
+        return sorted(self._by_trace_id.get(trace_id, []), key=lambda r: r.timestamp_ns)
+
+    def trace_ids_at(self, label: str) -> Dict[int, TraceRow]:
+        """First row per trace ID at one tracepoint (dup-safe)."""
+        result: Dict[int, TraceRow] = {}
+        for row in self._tables.get(label, []):
+            if row.trace_id and row.trace_id not in result:
+                result[row.trace_id] = row
+        return result
+
+    def time_range(
+        self, label: str, start_ns: Optional[int] = None, end_ns: Optional[int] = None
+    ) -> List[TraceRow]:
+        rows = self._tables.get(label, [])
+        return [
+            row
+            for row in rows
+            if (start_ns is None or row.timestamp_ns >= start_ns)
+            and (end_ns is None or row.timestamp_ns <= end_ns)
+        ]
+
+    def count(self, label: str) -> int:
+        return len(self._tables.get(label, []))
+
+    # -- data cleaning (§III-C) --------------------------------------------------------
+
+    def incomplete_traces(self, required_labels: Iterable[str]) -> List[int]:
+        """Trace IDs that missed at least one of the given tracepoints
+        (e.g. dropped packets or ring-buffer overruns)."""
+        required = list(required_labels)
+        incomplete = []
+        for trace_id, rows in self._by_trace_id.items():
+            seen = {row.label for row in rows}
+            if any(label not in seen for label in required):
+                incomplete.append(trace_id)
+        return incomplete
+
+    def complete_traces(self, required_labels: Iterable[str]) -> List[int]:
+        required = list(required_labels)
+        complete = []
+        for trace_id, rows in self._by_trace_id.items():
+            seen = {row.label for row in rows}
+            if all(label in seen for label in required):
+                complete.append(trace_id)
+        return complete
+
+    def __repr__(self) -> str:
+        sizes = {label: len(rows) for label, rows in self._tables.items()}
+        return f"<TraceDB {self.table_prefix!r} tables={sizes}>"

@@ -1,0 +1,157 @@
+"""The vNetTracer façade: dispatcher + agents + collector wired together.
+
+Typical use (mirrors the §III-A walkthrough):
+
+    tracer = VNetTracer(engine)
+    tracer.add_agent(host1.node)
+    tracer.add_agent(vm1.node)
+    tracer.synchronize_clocks(master_node, master_ip, "dev:eth0",
+                              vm1.node, vm1_ip, "dev:ens3")
+    spec = TracingSpec(rule=FilterRule.for_flow(...),
+                       tracepoints=[TracepointSpec(node=..., hook=...), ...])
+    tracer.deploy(spec)
+    ... run the experiment ...
+    tracer.collect()                       # offline collection
+    segments = tracer.decompose([...])     # metrics over the TraceDB
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.agent import Agent
+from repro.core.clocksync import ClockSynchronizer, SkewEstimate
+from repro.core.collector import RawDataCollector
+from repro.core.config import TracingSpec
+from repro.core.dispatcher import ControlDataDispatcher
+from repro.core.metrics import (
+    SegmentLatency,
+    ThroughputResult,
+    decompose_latency,
+    event_rate,
+    latency_between,
+    packet_loss,
+    per_cpu_distribution,
+    throughput_at,
+)
+from repro.core.tracedb import TraceDB
+from repro.net.addressing import IPv4Address
+from repro.net.stack import KernelNode
+from repro.net.traceid import enable_trace_ids
+from repro.sim.engine import Engine
+
+
+class VNetTracer:
+    """End-to-end tracing framework entry point."""
+
+    def __init__(self, engine: Engine, master_name: str = "master"):
+        self.engine = engine
+        self.db = TraceDB()
+        self.collector = RawDataCollector(engine, self.db)
+        self.dispatcher = ControlDataDispatcher(engine, master_name)
+        self.agents: Dict[str, Agent] = {}
+        self.active_spec: Optional[TracingSpec] = None
+        self.clock_estimates: Dict[str, SkewEstimate] = {}
+
+    # -- setup ------------------------------------------------------------
+
+    def add_agent(self, node: KernelNode, enable_packet_ids: bool = True) -> Agent:
+        """Install an agent daemon (and the trace-ID kernel patch) on a node."""
+        if node.name in self.agents:
+            return self.agents[node.name]
+        if enable_packet_ids:
+            enable_trace_ids(node)
+        agent = Agent(node, self.collector)
+        self.agents[node.name] = agent
+        self.dispatcher.register_agent(agent)
+        return agent
+
+    def synchronize_clocks(
+        self,
+        master_node: KernelNode,
+        master_ip: IPv4Address,
+        master_nic_hook: str,
+        target_node: KernelNode,
+        target_ip: IPv4Address,
+        target_nic_hook: str,
+        samples: int = 100,
+    ) -> ClockSynchronizer:
+        """Start a Cristian exchange; the estimate lands in the TraceDB
+        (as the per-node alignment offset) when it completes."""
+        sync = ClockSynchronizer(
+            master_node,
+            master_ip,
+            master_nic_hook,
+            target_node,
+            target_ip,
+            target_nic_hook,
+            samples=samples,
+        )
+
+        def record(estimate: SkewEstimate) -> None:
+            self.clock_estimates[target_node.name] = estimate
+            self.db.set_clock_skew(target_node.name, estimate.skew_ns)
+
+        sync.on_done = record
+        sync.start()
+        return sync
+
+    # -- deployment -------------------------------------------------------------
+
+    def deploy(self, spec: TracingSpec) -> None:
+        """Ship tracing scripts; they attach after the control latency."""
+        self.active_spec = spec
+        self.collector.register_labels(
+            {tp.tracepoint_id: tp.label for tp in spec.tracepoints}
+        )
+        self.dispatcher.deploy(spec)
+
+    def undeploy(self) -> None:
+        self.dispatcher.undeploy_all()
+
+    # -- collection ------------------------------------------------------------------
+
+    def collect(self) -> int:
+        """Offline collection: drain every agent's local store."""
+        return self.collector.collect_all_offline()
+
+    # -- metrics convenience --------------------------------------------------------------
+
+    def latencies(self, from_label: str, to_label: str) -> List[int]:
+        return latency_between(self.db, from_label, to_label)
+
+    def decompose(self, chain: Sequence[str]) -> List[SegmentLatency]:
+        return decompose_latency(self.db, chain)
+
+    def throughput(self, label: str, **kwargs) -> ThroughputResult:
+        return throughput_at(self.db, label, **kwargs)
+
+    def loss(self, from_label: str, to_label: str):
+        return packet_loss(self.db, from_label, to_label)
+
+    def cpu_distribution(self, label: str) -> Dict[int, float]:
+        return per_cpu_distribution(self.db, label)
+
+    def rate(self, label: str) -> float:
+        return event_rate(self.db, label)
+
+    def counter(self, node_name: str, label: str) -> int:
+        """An in-kernel per-CPU counter's aggregated value."""
+        agent = self.agents.get(node_name)
+        return agent.counter(label) if agent else 0
+
+    def size_histogram(self, node_name: str, label: str) -> List[int]:
+        """The in-kernel log2 packet-size histogram at a tracepoint."""
+        agent = self.agents.get(node_name)
+        return agent.histogram(label) if agent else []
+
+    def total_probe_overhead_ns(self) -> int:
+        """Total simulated time spent inside all deployed eBPF programs."""
+        total = 0
+        for agent in self.agents.values():
+            for script in agent.scripts.values():
+                total += script.attachment.program.total_cost_ns
+        return total
+
+    def __repr__(self) -> str:
+        return f"<VNetTracer agents={sorted(self.agents)} rows={self.db.rows_inserted}>"

@@ -1,0 +1,130 @@
+"""The program context: a ``__sk_buff``-like struct handed to programs in R1.
+
+Layout (little-endian, fixed offsets -- programs hardcode these, as real
+socket-filter programs hardcode ``__sk_buff`` offsets):
+
+====== ====== ==========================================================
+offset size   field
+====== ====== ==========================================================
+0      u32    len          -- wire length of the packet at this hook
+4      u16    protocol     -- ethertype
+8      u32    ifindex      -- device the hook fired on
+12     u32    rx_cpu       -- CPU the event is being processed on
+16     u32    src_ip       -- IPv4 source (host byte order)
+20     u32    dst_ip       -- IPv4 destination (host byte order)
+24     u16    src_port     -- L4 source port (host byte order)
+26     u16    dst_port     -- L4 destination port (host byte order)
+28     u8     ip_proto     -- 6 TCP / 17 UDP
+32     u32    hook_id      -- numeric tracepoint id assigned at attach
+36     u32    payload_off  -- offset of L4 payload within data
+40     u64    data         -- pointer to the first packet byte
+48     u64    data_end     -- pointer one past the last packet byte
+====== ====== ==========================================================
+
+For VXLAN hooks inside an overlay, the builder can be asked to describe
+the *inner* packet (the paper: "the tracing scripts need to strip the
+VXLAN header off to read the skb information").  The parsed fields then
+refer to the inner five-tuple while data/data_end still cover the bytes
+visible at the hook.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, Tuple
+
+from repro.ebpf.memory import PACKET_REGION_BASE
+from repro.net.packet import IPPROTO_TCP, IPPROTO_UDP, Packet
+
+CTX_SIZE = 56
+
+OFF_LEN = 0
+OFF_PROTOCOL = 4
+OFF_IFINDEX = 8
+OFF_RX_CPU = 12
+OFF_SRC_IP = 16
+OFF_DST_IP = 20
+OFF_SRC_PORT = 24
+OFF_DST_PORT = 26
+OFF_IP_PROTO = 28
+OFF_HOOK_ID = 32
+OFF_PAYLOAD_OFF = 36
+OFF_DATA = 40
+OFF_DATA_END = 48
+
+
+def build_skb_context(
+    packet: Packet,
+    ifindex: int = 0,
+    cpu: int = 0,
+    hook_id: int = 0,
+    use_inner: bool = False,
+    wire_bytes: Optional[bytes] = None,
+) -> Tuple[bytearray, bytearray]:
+    """Build (ctx, packet_bytes) for one program invocation.
+
+    ``use_inner`` fills the parsed fields from the innermost packet
+    (after notional VXLAN decap).  ``wire_bytes`` lets callers reuse an
+    already-serialized image instead of re-serializing per probe.
+    """
+    logical = packet.innermost if use_inner else packet
+    data = bytearray(wire_bytes if wire_bytes is not None else packet.to_bytes())
+
+    ctx = bytearray(CTX_SIZE)
+    struct.pack_into("<I", ctx, OFF_LEN, len(data))
+    eth = logical.eth
+    struct.pack_into("<H", ctx, OFF_PROTOCOL, eth.ethertype if eth else 0)
+    struct.pack_into("<I", ctx, OFF_IFINDEX, ifindex)
+    struct.pack_into("<I", ctx, OFF_RX_CPU, cpu)
+
+    ip = logical.ip
+    if ip is not None:
+        struct.pack_into("<I", ctx, OFF_SRC_IP, ip.src.value)
+        struct.pack_into("<I", ctx, OFF_DST_IP, ip.dst.value)
+        struct.pack_into("<B", ctx, OFF_IP_PROTO, ip.protocol)
+
+    payload_offset = 0
+    if logical.tcp is not None:
+        struct.pack_into("<H", ctx, OFF_SRC_PORT, logical.tcp.src_port)
+        struct.pack_into("<H", ctx, OFF_DST_PORT, logical.tcp.dst_port)
+    elif logical.udp is not None:
+        struct.pack_into("<H", ctx, OFF_SRC_PORT, logical.udp.src_port)
+        struct.pack_into("<H", ctx, OFF_DST_PORT, logical.udp.dst_port)
+
+    # Where the L4 payload of the *logical* packet starts inside `data`.
+    # For encapsulated packets the outer headers precede the inner image.
+    outer_header_len = 0
+    walk = packet
+    while walk is not logical:
+        outer_header_len += walk.header_length
+        walk = walk.payload  # type: ignore[assignment]  # guarded by innermost
+    payload_offset = outer_header_len + logical.header_length
+    struct.pack_into("<I", ctx, OFF_PAYLOAD_OFF, payload_offset)
+
+    struct.pack_into("<I", ctx, OFF_HOOK_ID, hook_id)
+    struct.pack_into("<Q", ctx, OFF_DATA, PACKET_REGION_BASE)
+    struct.pack_into("<Q", ctx, OFF_DATA_END, PACKET_REGION_BASE + len(data))
+    return ctx, data
+
+
+def build_empty_context(
+    ifindex: int = 0, cpu: int = 0, hook_id: int = 0
+) -> Tuple[bytearray, bytearray]:
+    """A context for probe points with no packet: all packet fields are
+    zero, data == data_end (an empty, valid region)."""
+    ctx = bytearray(CTX_SIZE)
+    struct.pack_into("<I", ctx, OFF_IFINDEX, ifindex)
+    struct.pack_into("<I", ctx, OFF_RX_CPU, cpu)
+    struct.pack_into("<I", ctx, OFF_HOOK_ID, hook_id)
+    struct.pack_into("<Q", ctx, OFF_DATA, PACKET_REGION_BASE)
+    struct.pack_into("<Q", ctx, OFF_DATA_END, PACKET_REGION_BASE)
+    return ctx, bytearray(0)
+
+
+def context_field(ctx: bytearray, offset: int, size: int) -> int:
+    """Read a context field from the byte image (user-space debugging)."""
+    return int.from_bytes(ctx[offset : offset + size], "little")
+
+
+_IS_TCP = IPPROTO_TCP
+_IS_UDP = IPPROTO_UDP

@@ -1,0 +1,134 @@
+"""Kernel helper functions callable from eBPF programs via ``CALL``.
+
+Helper IDs match the kernel's UAPI numbering so programs read like real
+ones.  Each helper has a simulated-time cost (charged to the probe's
+overhead) alongside its semantic implementation.
+
+``bpf_ktime_get_ns`` (id 5) reads the node's CLOCK_MONOTONIC -- §III-B:
+"we obtain the nanosecond-level granularity time record from the
+function bpf_ktime_get_ns()".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, NamedTuple, TYPE_CHECKING
+
+from repro.ebpf.maps import BPFMap, MapError, PerfEventArray
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ebpf.vm import VMState
+
+# UAPI helper ids (linux/bpf.h)
+HELPER_MAP_LOOKUP_ELEM = 1
+HELPER_MAP_UPDATE_ELEM = 2
+HELPER_MAP_DELETE_ELEM = 3
+HELPER_KTIME_GET_NS = 5
+HELPER_TRACE_PRINTK = 6
+HELPER_GET_PRANDOM_U32 = 7
+HELPER_GET_SMP_PROCESSOR_ID = 8
+HELPER_PERF_EVENT_OUTPUT = 25
+
+# Pointers to maps are tagged addresses; LD_IMM64 with BPF_PSEUDO_MAP_FD
+# materializes MAP_PTR_BASE + fd in the destination register.
+MAP_PTR_BASE = 0x5_0000_0000
+
+# BPF_F_CURRENT_CPU for perf_event_output's flags argument.
+BPF_F_CURRENT_CPU = 0xFFFFFFFF
+
+
+class HelperError(RuntimeError):
+    """A helper was called with invalid arguments (bad map fd etc.)."""
+
+
+class HelperInfo(NamedTuple):
+    name: str
+    func: Callable[["VMState"], int]
+    cost_ns: int
+
+
+def _resolve_map(state: "VMState", reg_value: int) -> BPFMap:
+    fd = reg_value - MAP_PTR_BASE
+    bpf_map = state.env.maps.get(fd)
+    if bpf_map is None:
+        raise HelperError(f"register holds no valid map pointer ({reg_value:#x})")
+    return bpf_map
+
+
+def _map_lookup_elem(state: "VMState") -> int:
+    bpf_map = _resolve_map(state, state.regs[1])
+    key = state.memory.read_bytes(state.regs[2], bpf_map.key_size)
+    value = bpf_map.lookup(key, cpu=state.env.cpu)
+    if value is None:
+        return 0
+    # Expose the live map storage to the program; stores through the
+    # returned pointer persist, matching kernel semantics.
+    return state.memory.add_dynamic_region(value, name=f"{bpf_map.name}-value")
+
+
+def _map_update_elem(state: "VMState") -> int:
+    bpf_map = _resolve_map(state, state.regs[1])
+    key = state.memory.read_bytes(state.regs[2], bpf_map.key_size)
+    value = state.memory.read_bytes(state.regs[3], bpf_map.value_size)
+    try:
+        bpf_map.update(key, value, cpu=state.env.cpu)
+    except MapError:
+        return (-1) & 0xFFFFFFFFFFFFFFFF
+    return 0
+
+
+def _map_delete_elem(state: "VMState") -> int:
+    bpf_map = _resolve_map(state, state.regs[1])
+    key = state.memory.read_bytes(state.regs[2], bpf_map.key_size)
+    try:
+        removed = bpf_map.delete(key, cpu=state.env.cpu)
+    except MapError:
+        return (-1) & 0xFFFFFFFFFFFFFFFF
+    return 0 if removed else (-1) & 0xFFFFFFFFFFFFFFFF
+
+
+def _ktime_get_ns(state: "VMState") -> int:
+    return state.env.clock() & 0xFFFFFFFFFFFFFFFF
+
+
+def _trace_printk(state: "VMState") -> int:
+    size = state.regs[2]
+    if size > 128:
+        raise HelperError(f"trace_printk format too large ({size})")
+    fmt = state.memory.read_bytes(state.regs[1], size).split(b"\x00")[0]
+    state.env.printk_sink(fmt.decode("latin-1"))
+    return len(fmt)
+
+
+def _get_prandom_u32(state: "VMState") -> int:
+    return state.env.prandom_u32() & 0xFFFFFFFF
+
+
+def _get_smp_processor_id(state: "VMState") -> int:
+    return state.env.cpu
+
+
+def _perf_event_output(state: "VMState") -> int:
+    # r1=ctx, r2=map, r3=flags (cpu selector), r4=data ptr, r5=size
+    bpf_map = _resolve_map(state, state.regs[2])
+    if not isinstance(bpf_map, PerfEventArray):
+        raise HelperError(f"perf_event_output into non-perf map {bpf_map.name!r}")
+    flags = state.regs[3] & 0xFFFFFFFF
+    cpu = state.env.cpu if flags == BPF_F_CURRENT_CPU else flags
+    size = state.regs[5]
+    if size > 4096:
+        raise HelperError(f"perf_event_output record too large ({size})")
+    record = state.memory.read_bytes(state.regs[4], size)
+    bpf_map.output(cpu, record)
+    return 0
+
+
+HELPERS: Dict[int, HelperInfo] = {
+    HELPER_MAP_LOOKUP_ELEM: HelperInfo("map_lookup_elem", _map_lookup_elem, 55),
+    HELPER_MAP_UPDATE_ELEM: HelperInfo("map_update_elem", _map_update_elem, 75),
+    HELPER_MAP_DELETE_ELEM: HelperInfo("map_delete_elem", _map_delete_elem, 60),
+    HELPER_KTIME_GET_NS: HelperInfo("ktime_get_ns", _ktime_get_ns, 22),
+    HELPER_TRACE_PRINTK: HelperInfo("trace_printk", _trace_printk, 1000),
+    HELPER_GET_PRANDOM_U32: HelperInfo("get_prandom_u32", _get_prandom_u32, 15),
+    HELPER_GET_SMP_PROCESSOR_ID: HelperInfo("get_smp_processor_id", _get_smp_processor_id, 8),
+    HELPER_PERF_EVENT_OUTPUT: HelperInfo("perf_event_output", _perf_event_output, 110),
+}

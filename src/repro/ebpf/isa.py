@@ -1,0 +1,193 @@
+"""The eBPF instruction set, using the kernel's opcode encoding.
+
+An instruction is ``(opcode, dst, src, offset, imm)`` exactly like
+``struct bpf_insn``.  The opcode byte decomposes into a 3-bit class plus
+class-specific fields; the constants below mirror ``linux/bpf_common.h``
+and ``linux/bpf.h`` so programs here disassemble the way kernel ones do.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+# --- instruction classes ----------------------------------------------------
+BPF_LD = 0x00
+BPF_LDX = 0x01
+BPF_ST = 0x02
+BPF_STX = 0x03
+BPF_ALU = 0x04  # 32-bit ALU
+BPF_JMP = 0x05
+BPF_JMP32 = 0x06
+BPF_ALU64 = 0x07
+
+CLASS_MASK = 0x07
+
+# --- size field (for LD/LDX/ST/STX) ----------------------------------------
+BPF_W = 0x00  # 4 bytes
+BPF_H = 0x08  # 2 bytes
+BPF_B = 0x10  # 1 byte
+BPF_DW = 0x18  # 8 bytes
+
+SIZE_MASK = 0x18
+SIZE_BYTES = {BPF_W: 4, BPF_H: 2, BPF_B: 1, BPF_DW: 8}
+
+# --- mode field (for LD/LDX/ST/STX) ----------------------------------------
+BPF_IMM = 0x00
+BPF_MEM = 0x60
+
+MODE_MASK = 0xE0
+
+# --- source field (ALU/JMP) -------------------------------------------------
+BPF_K = 0x00  # use imm
+BPF_X = 0x08  # use src register
+
+SRC_MASK = 0x08
+
+# --- ALU operations (high nibble) -------------------------------------------
+BPF_ADD = 0x00
+BPF_SUB = 0x10
+BPF_MUL = 0x20
+BPF_DIV = 0x30
+BPF_OR = 0x40
+BPF_AND = 0x50
+BPF_LSH = 0x60
+BPF_RSH = 0x70
+BPF_NEG = 0x80
+BPF_MOD = 0x90
+BPF_XOR = 0xA0
+BPF_MOV = 0xB0
+BPF_ARSH = 0xC0
+BPF_END = 0xD0  # byteswap
+
+OP_MASK = 0xF0
+
+# --- JMP operations (high nibble) -------------------------------------------
+BPF_JA = 0x00
+BPF_JEQ = 0x10
+BPF_JGT = 0x20
+BPF_JGE = 0x30
+BPF_JSET = 0x40
+BPF_JNE = 0x50
+BPF_JSGT = 0x60
+BPF_JSGE = 0x70
+BPF_CALL = 0x80
+BPF_EXIT = 0x90
+BPF_JLT = 0xA0
+BPF_JLE = 0xB0
+BPF_JSLT = 0xC0
+BPF_JSLE = 0xD0
+
+# LD_IMM64 pseudo source values
+BPF_PSEUDO_MAP_FD = 1
+
+# Registers
+R0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10 = range(11)
+NUM_REGS = 11
+FRAME_POINTER = R10
+STACK_SIZE = 512
+
+MAX_INSNS = 4096  # §II: "the eBPF program is limited by its size, ... at most 4k instructions"
+
+U64_MASK = 0xFFFFFFFFFFFFFFFF
+U32_MASK = 0xFFFFFFFF
+
+
+class Instruction(NamedTuple):
+    """One eBPF instruction (``struct bpf_insn`` equivalent)."""
+
+    opcode: int
+    dst: int = 0
+    src: int = 0
+    offset: int = 0
+    imm: int = 0
+
+    @property
+    def insn_class(self) -> int:
+        return self.opcode & CLASS_MASK
+
+    @property
+    def alu_op(self) -> int:
+        return self.opcode & OP_MASK
+
+    @property
+    def size_bytes(self) -> int:
+        return SIZE_BYTES[self.opcode & SIZE_MASK]
+
+    @property
+    def uses_imm(self) -> bool:
+        return (self.opcode & SRC_MASK) == BPF_K
+
+    def __repr__(self) -> str:
+        return (
+            f"Insn(op=0x{self.opcode:02x} dst=r{self.dst} src=r{self.src} "
+            f"off={self.offset} imm={self.imm})"
+        )
+
+
+ALU_OP_NAMES = {
+    BPF_ADD: "add",
+    BPF_SUB: "sub",
+    BPF_MUL: "mul",
+    BPF_DIV: "div",
+    BPF_OR: "or",
+    BPF_AND: "and",
+    BPF_LSH: "lsh",
+    BPF_RSH: "rsh",
+    BPF_NEG: "neg",
+    BPF_MOD: "mod",
+    BPF_XOR: "xor",
+    BPF_MOV: "mov",
+    BPF_ARSH: "arsh",
+    BPF_END: "end",
+}
+
+JMP_OP_NAMES = {
+    BPF_JA: "ja",
+    BPF_JEQ: "jeq",
+    BPF_JGT: "jgt",
+    BPF_JGE: "jge",
+    BPF_JSET: "jset",
+    BPF_JNE: "jne",
+    BPF_JSGT: "jsgt",
+    BPF_JSGE: "jsge",
+    BPF_CALL: "call",
+    BPF_EXIT: "exit",
+    BPF_JLT: "jlt",
+    BPF_JLE: "jle",
+    BPF_JSLT: "jslt",
+    BPF_JSLE: "jsle",
+}
+
+
+def disassemble_one(insn: Instruction, index: int = 0) -> str:
+    """A human-readable rendering of one instruction (debugging aid)."""
+    cls = insn.insn_class
+    if cls in (BPF_ALU, BPF_ALU64):
+        suffix = "" if cls == BPF_ALU64 else "32"
+        name = ALU_OP_NAMES.get(insn.alu_op, f"alu?{insn.alu_op:#x}")
+        operand = f"{insn.imm}" if insn.uses_imm else f"r{insn.src}"
+        return f"{index:4}: {name}{suffix} r{insn.dst}, {operand}"
+    if cls in (BPF_JMP, BPF_JMP32):
+        name = JMP_OP_NAMES.get(insn.alu_op, f"jmp?{insn.alu_op:#x}")
+        if insn.alu_op == BPF_EXIT:
+            return f"{index:4}: exit"
+        if insn.alu_op == BPF_CALL:
+            return f"{index:4}: call helper#{insn.imm}"
+        if insn.alu_op == BPF_JA:
+            return f"{index:4}: ja +{insn.offset}"
+        operand = f"{insn.imm}" if insn.uses_imm else f"r{insn.src}"
+        return f"{index:4}: {name} r{insn.dst}, {operand}, +{insn.offset}"
+    if cls == BPF_LDX:
+        return f"{index:4}: ldx{insn.size_bytes} r{insn.dst}, [r{insn.src}+{insn.offset}]"
+    if cls == BPF_STX:
+        return f"{index:4}: stx{insn.size_bytes} [r{insn.dst}+{insn.offset}], r{insn.src}"
+    if cls == BPF_ST:
+        return f"{index:4}: st{insn.size_bytes} [r{insn.dst}+{insn.offset}], {insn.imm}"
+    if cls == BPF_LD:
+        return f"{index:4}: ld_imm64 r{insn.dst}, {insn.imm} (src={insn.src})"
+    return f"{index:4}: ??? {insn}"
+
+
+def disassemble(program) -> str:
+    """Disassemble a list of instructions."""
+    return "\n".join(disassemble_one(insn, i) for i, insn in enumerate(program))

@@ -1,0 +1,296 @@
+"""The JIT: pre-decode verified bytecode into Python closures.
+
+The kernel JIT-compiles verified programs to native code; the analog
+here is compiling each instruction into a specialized closure once at
+load time, removing per-step opcode decoding from the hot path.  The
+*simulated* cost model is unchanged (that lives in
+:mod:`repro.ebpf.vm`); this is a host-side speedup that matters because
+probes execute per packet.
+
+Semantics must match the interpreter bit for bit --
+``tests/test_ebpf_jit.py`` runs differential checks over random
+programs and every compiler-emitted script shape.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.ebpf import isa
+from repro.ebpf.helpers import HELPERS, MAP_PTR_BASE
+from repro.ebpf.isa import Instruction
+
+U64 = 0xFFFFFFFFFFFFFFFF
+U32 = 0xFFFFFFFF
+
+EXIT_PC = -1
+
+# A step closure mutates (regs, state) and returns the next pc.
+Step = Callable[[list, object], int]
+
+
+class JITError(RuntimeError):
+    """Compilation failed (should be unreachable for verified programs)."""
+
+
+def _to_signed64(value: int) -> int:
+    return value - (1 << 64) if value & (1 << 63) else value
+
+
+def _bswap(value: int, width_bits: int) -> int:
+    nbytes = width_bits // 8
+    return int.from_bytes(
+        (value & ((1 << width_bits) - 1)).to_bytes(nbytes, "little"), "big"
+    )
+
+
+def compile_steps(insns: Sequence[Instruction]) -> List[Tuple[Step, int]]:
+    """Compile to a list of (step, fetched_slots) aligned with pc."""
+    steps: List[Tuple[Step, int]] = [None] * len(insns)  # type: ignore[list-item]
+    index = 0
+    while index < len(insns):
+        insn = insns[index]
+        cls = insn.insn_class
+        if cls in (isa.BPF_ALU64, isa.BPF_ALU):
+            steps[index] = (_compile_alu(insn, index), 1)
+            index += 1
+        elif cls == isa.BPF_JMP:
+            steps[index] = (_compile_jmp(insn, index), 1)
+            index += 1
+        elif cls == isa.BPF_LDX:
+            steps[index] = (_compile_ldx(insn, index), 1)
+            index += 1
+        elif cls == isa.BPF_STX:
+            steps[index] = (_compile_stx(insn, index), 1)
+            index += 1
+        elif cls == isa.BPF_ST:
+            steps[index] = (_compile_st(insn, index), 1)
+            index += 1
+        elif cls == isa.BPF_LD:
+            steps[index] = (_compile_ld_imm64(insn, insns[index + 1], index), 2)
+            index += 2
+        else:  # pragma: no cover - verified programs never reach this
+            raise JITError(f"cannot compile class {cls} at {index}")
+    return steps
+
+
+def _compile_alu(insn: Instruction, index: int) -> Step:
+    is32 = insn.insn_class == isa.BPF_ALU
+    mask = U32 if is32 else U64
+    op = insn.alu_op
+    dst = insn.dst
+    src = insn.src
+    next_pc = index + 1
+
+    if insn.uses_imm:
+        operand_const = insn.imm & mask
+        if insn.imm < 0 and not is32:
+            operand_const = insn.imm & U64
+
+        def get_operand(regs):
+            return operand_const
+
+    else:
+
+        def get_operand(regs):
+            value = regs[src]
+            return value & U32 if is32 else value
+
+    if op == isa.BPF_MOV:
+        def step(regs, state):
+            regs[dst] = get_operand(regs) & mask
+            return next_pc
+    elif op == isa.BPF_ADD:
+        def step(regs, state):
+            regs[dst] = ((regs[dst] & mask) + get_operand(regs)) & mask
+            return next_pc
+    elif op == isa.BPF_SUB:
+        def step(regs, state):
+            regs[dst] = ((regs[dst] & mask) - get_operand(regs)) & mask
+            return next_pc
+    elif op == isa.BPF_MUL:
+        def step(regs, state):
+            regs[dst] = ((regs[dst] & mask) * get_operand(regs)) & mask
+            return next_pc
+    elif op == isa.BPF_DIV:
+        def step(regs, state):
+            operand = get_operand(regs) & mask
+            regs[dst] = 0 if operand == 0 else ((regs[dst] & mask) // operand) & mask
+            return next_pc
+    elif op == isa.BPF_MOD:
+        def step(regs, state):
+            operand = get_operand(regs) & mask
+            value = regs[dst] & mask
+            regs[dst] = value if operand == 0 else (value % operand) & mask
+            return next_pc
+    elif op == isa.BPF_OR:
+        def step(regs, state):
+            regs[dst] = ((regs[dst] & mask) | get_operand(regs)) & mask
+            return next_pc
+    elif op == isa.BPF_AND:
+        def step(regs, state):
+            regs[dst] = ((regs[dst] & mask) & get_operand(regs)) & mask
+            return next_pc
+    elif op == isa.BPF_XOR:
+        def step(regs, state):
+            regs[dst] = ((regs[dst] & mask) ^ get_operand(regs)) & mask
+            return next_pc
+    elif op == isa.BPF_LSH:
+        shift_mask = 31 if is32 else 63
+
+        def step(regs, state):
+            regs[dst] = ((regs[dst] & mask) << (get_operand(regs) & shift_mask)) & mask
+            return next_pc
+    elif op == isa.BPF_RSH:
+        shift_mask = 31 if is32 else 63
+
+        def step(regs, state):
+            regs[dst] = ((regs[dst] & mask) >> (get_operand(regs) & shift_mask)) & mask
+            return next_pc
+    elif op == isa.BPF_ARSH:
+        width = 32 if is32 else 64
+
+        def step(regs, state):
+            shift = get_operand(regs) & (width - 1)
+            value = regs[dst] & mask
+            signed = value - (1 << width) if value & (1 << (width - 1)) else value
+            regs[dst] = (signed >> shift) & mask
+            return next_pc
+    elif op == isa.BPF_NEG:
+        def step(regs, state):
+            regs[dst] = (-(regs[dst] & mask)) & mask
+            return next_pc
+    elif op == isa.BPF_END:
+        width_bits = insn.imm
+
+        def step(regs, state):
+            regs[dst] = _bswap(regs[dst] & mask, width_bits) & mask
+            return next_pc
+    else:  # pragma: no cover
+        raise JITError(f"bad ALU op {op:#x}")
+    return step
+
+
+def _compile_jmp(insn: Instruction, index: int) -> Step:
+    op = insn.alu_op
+    next_pc = index + 1
+    taken_pc = index + 1 + insn.offset
+    dst = insn.dst
+    src = insn.src
+
+    if op == isa.BPF_EXIT:
+        def step(regs, state):
+            return EXIT_PC
+        return step
+    if op == isa.BPF_JA:
+        def step(regs, state):
+            return taken_pc
+        return step
+    if op == isa.BPF_CALL:
+        info = HELPERS[insn.imm]
+        helper_fn, helper_name, helper_cost = info.func, info.name, info.cost_ns
+
+        def step(regs, state):
+            regs[isa.R0] = helper_fn(state) & U64
+            state.helper_calls[helper_name] = state.helper_calls.get(helper_name, 0) + 1
+            state.helper_cost_ns += helper_cost
+            return next_pc
+
+        return step
+
+    if insn.uses_imm:
+        right_const = insn.imm & U64
+        if insn.imm < 0:
+            right_const = insn.imm & U64
+
+        def get_right(regs):
+            return right_const
+
+    else:
+
+        def get_right(regs):
+            return regs[src]
+
+    unsigned = {
+        isa.BPF_JEQ: lambda a, b: a == b,
+        isa.BPF_JNE: lambda a, b: a != b,
+        isa.BPF_JGT: lambda a, b: a > b,
+        isa.BPF_JGE: lambda a, b: a >= b,
+        isa.BPF_JLT: lambda a, b: a < b,
+        isa.BPF_JLE: lambda a, b: a <= b,
+        isa.BPF_JSET: lambda a, b: bool(a & b),
+    }
+    if op in unsigned:
+        cmp = unsigned[op]
+
+        def step(regs, state):
+            return taken_pc if cmp(regs[dst], get_right(regs)) else next_pc
+
+        return step
+
+    signed = {
+        isa.BPF_JSGT: lambda a, b: a > b,
+        isa.BPF_JSGE: lambda a, b: a >= b,
+        isa.BPF_JSLT: lambda a, b: a < b,
+        isa.BPF_JSLE: lambda a, b: a <= b,
+    }
+    if op in signed:
+        cmp = signed[op]
+
+        def step(regs, state):
+            return (
+                taken_pc
+                if cmp(_to_signed64(regs[dst]), _to_signed64(get_right(regs)))
+                else next_pc
+            )
+
+        return step
+    raise JITError(f"bad JMP op {op:#x}")  # pragma: no cover
+
+
+def _compile_ldx(insn: Instruction, index: int) -> Step:
+    dst, src, offset, size = insn.dst, insn.src, insn.offset, insn.size_bytes
+    next_pc = index + 1
+
+    def step(regs, state):
+        regs[dst] = state.memory.load((regs[src] + offset) & U64, size)
+        return next_pc
+
+    return step
+
+
+def _compile_stx(insn: Instruction, index: int) -> Step:
+    dst, src, offset, size = insn.dst, insn.src, insn.offset, insn.size_bytes
+    next_pc = index + 1
+
+    def step(regs, state):
+        state.memory.store((regs[dst] + offset) & U64, size, regs[src])
+        return next_pc
+
+    return step
+
+
+def _compile_st(insn: Instruction, index: int) -> Step:
+    dst, offset, size, imm = insn.dst, insn.offset, insn.size_bytes, insn.imm & U64
+    next_pc = index + 1
+
+    def step(regs, state):
+        state.memory.store((regs[dst] + offset) & U64, size, imm)
+        return next_pc
+
+    return step
+
+
+def _compile_ld_imm64(first: Instruction, second: Instruction, index: int) -> Step:
+    dst = first.dst
+    next_pc = index + 2
+    if first.src == isa.BPF_PSEUDO_MAP_FD:
+        value = MAP_PTR_BASE + first.imm
+    else:
+        value = ((second.imm & U32) << 32) | (first.imm & U32)
+
+    def step(regs, state):
+        regs[dst] = value
+        return next_pc
+
+    return step

@@ -1,0 +1,223 @@
+"""Static verifier for eBPF programs.
+
+Programs must pass verification before they can be attached -- the same
+contract the kernel enforces.  Checks implemented (matching the
+verifier of the paper-era kernels at the level our programs exercise):
+
+* program size: 1 .. 4096 instructions (§II "Limitation");
+* every opcode decodes to a known instruction;
+* register numbers in range; no writes to the frame pointer R10;
+* LD_IMM64 occupies two slots, the second slot is the zero pseudo
+  instruction, and no jump lands in the middle;
+* all jumps stay in bounds and go *forward* (DAG control flow: loops
+  were rejected until kernel 5.3, after the paper);
+* no unreachable instructions;
+* the final instruction of every path is EXIT (checked via fallthrough
+  off the end being impossible);
+* constant division/modulo by zero is rejected;
+* only known helper IDs may be CALLed, with their argument registers
+  proven initialized; R1-R5 are clobbered by calls, R0 holds the result;
+* reads of never-written registers are rejected via a dataflow pass
+  (merge = intersection over predecessors; entry state = {R1, R10});
+* direct stack accesses through R10 must fall inside the 512-byte frame.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.ebpf import isa
+from repro.ebpf.helpers import HELPERS
+from repro.ebpf.isa import Instruction
+
+# Registers a helper call consumes, per helper id (R1..Rn must be init).
+HELPER_ARG_COUNTS = {
+    1: 2,  # map_lookup_elem(map, key)
+    2: 4,  # map_update_elem(map, key, value, flags)
+    3: 2,  # map_delete_elem(map, key)
+    5: 0,  # ktime_get_ns()
+    6: 2,  # trace_printk(fmt, fmt_size)
+    7: 0,  # get_prandom_u32()
+    8: 0,  # get_smp_processor_id()
+    25: 5,  # perf_event_output(ctx, map, flags, data, size)
+}
+
+_CALLER_SAVED = (isa.R1, isa.R2, isa.R3, isa.R4, isa.R5)
+
+_VALID_ALU_OPS = frozenset(isa.ALU_OP_NAMES)
+_VALID_JMP_OPS = frozenset(isa.JMP_OP_NAMES)
+
+
+class VerifierError(ValueError):
+    """The program was rejected; the message pinpoints the instruction."""
+
+
+def _bit(reg: int) -> int:
+    return 1 << reg
+
+
+_ENTRY_STATE = _bit(isa.R1) | _bit(isa.R10)
+_ALL_REGS = (1 << isa.NUM_REGS) - 1
+
+
+def verify(program: Sequence[Instruction]) -> None:
+    """Raise :class:`VerifierError` unless ``program`` is acceptable."""
+    insns = list(program)
+    if not insns:
+        raise VerifierError("empty program")
+    if len(insns) > isa.MAX_INSNS:
+        raise VerifierError(
+            f"program too large: {len(insns)} > {isa.MAX_INSNS} instructions"
+        )
+
+    ld64_first_slots = set()
+    ld64_second_slots = set()
+    index = 0
+    while index < len(insns):
+        insn = insns[index]
+        if insn.insn_class == isa.BPF_LD:
+            if (insn.opcode & isa.MODE_MASK) != isa.BPF_IMM or (
+                insn.opcode & isa.SIZE_MASK
+            ) != isa.BPF_DW:
+                raise VerifierError(f"insn {index}: unsupported BPF_LD form")
+            if index + 1 >= len(insns):
+                raise VerifierError(f"insn {index}: LD_IMM64 missing second slot")
+            second = insns[index + 1]
+            if second.opcode != 0 or second.dst != 0 or second.src != 0 or second.offset != 0:
+                raise VerifierError(f"insn {index}: malformed LD_IMM64 second slot")
+            ld64_first_slots.add(index)
+            ld64_second_slots.add(index + 1)
+            index += 2
+        else:
+            index += 1
+
+    # -- per-instruction structural checks -------------------------------
+    for i, insn in enumerate(insns):
+        if i in ld64_second_slots:
+            continue
+        _check_structural(insns, i, insn)
+
+    # -- reachability + register-init dataflow ---------------------------
+    # Forward-only jumps make program order a topological order, so a
+    # single in-order pass computes the meet-over-paths solution.
+    states: Dict[int, int] = {0: _ENTRY_STATE}
+    if 0 in ld64_second_slots:
+        raise VerifierError("program starts inside an LD_IMM64 pair")
+
+    def propagate(target: int, state: int, source: int) -> None:
+        if target == len(insns):
+            raise VerifierError(f"insn {source}: control falls off the end of the program")
+        if target > len(insns):
+            raise VerifierError(f"insn {source}: jump target {target} out of bounds")
+        if target in ld64_second_slots:
+            raise VerifierError(f"insn {source}: jump into the middle of LD_IMM64")
+        states[target] = states.get(target, _ALL_REGS) & state
+
+    for i, insn in enumerate(insns):
+        if i in ld64_second_slots:
+            continue
+        if i not in states:
+            raise VerifierError(f"insn {i}: unreachable instruction")
+        state = states[i]
+        cls = insn.insn_class
+
+        if cls in (isa.BPF_ALU, isa.BPF_ALU64):
+            op = insn.alu_op
+            if op not in (isa.BPF_MOV, isa.BPF_NEG, isa.BPF_END):
+                _require_init(state, insn.dst, i, "dst")
+            if not insn.uses_imm and op not in (isa.BPF_NEG, isa.BPF_END):
+                _require_init(state, insn.src, i, "src")
+            state |= _bit(insn.dst)
+            propagate(i + 1, state, i)
+
+        elif cls == isa.BPF_LDX:
+            _require_init(state, insn.src, i, "src")
+            state |= _bit(insn.dst)
+            propagate(i + 1, state, i)
+
+        elif cls in (isa.BPF_ST, isa.BPF_STX):
+            _require_init(state, insn.dst, i, "dst")
+            if cls == isa.BPF_STX:
+                _require_init(state, insn.src, i, "src")
+            propagate(i + 1, state, i)
+
+        elif cls == isa.BPF_LD:  # LD_IMM64 first slot
+            state |= _bit(insn.dst)
+            propagate(i + 2, state, i)
+
+        elif cls == isa.BPF_JMP:
+            op = insn.alu_op
+            if op == isa.BPF_EXIT:
+                _require_init(state, isa.R0, i, "R0 at exit")
+                continue
+            if op == isa.BPF_CALL:
+                for arg in range(1, HELPER_ARG_COUNTS[insn.imm] + 1):
+                    _require_init(state, arg, i, f"helper arg r{arg}")
+                for reg in _CALLER_SAVED:
+                    state &= ~_bit(reg)
+                state |= _bit(isa.R0)
+                propagate(i + 1, state, i)
+                continue
+            if op == isa.BPF_JA:
+                propagate(i + 1 + insn.offset, state, i)
+                continue
+            _require_init(state, insn.dst, i, "dst")
+            if not insn.uses_imm:
+                _require_init(state, insn.src, i, "src")
+            propagate(i + 1 + insn.offset, state, i)  # taken
+            propagate(i + 1, state, i)  # fallthrough
+
+        else:
+            raise VerifierError(f"insn {i}: unknown class {cls}")
+
+
+def _check_structural(insns: List[Instruction], i: int, insn: Instruction) -> None:
+    cls = insn.insn_class
+    if not 0 <= insn.dst < isa.NUM_REGS or not 0 <= insn.src < isa.NUM_REGS:
+        raise VerifierError(f"insn {i}: register out of range")
+
+    writes_dst = (
+        cls in (isa.BPF_ALU, isa.BPF_ALU64, isa.BPF_LDX, isa.BPF_LD)
+    )
+    if writes_dst and insn.dst == isa.FRAME_POINTER:
+        raise VerifierError(f"insn {i}: write to frame pointer R10")
+
+    if cls in (isa.BPF_ALU, isa.BPF_ALU64):
+        op = insn.alu_op
+        if op not in _VALID_ALU_OPS:
+            raise VerifierError(f"insn {i}: unknown ALU op {op:#x}")
+        if op in (isa.BPF_DIV, isa.BPF_MOD) and insn.uses_imm and insn.imm == 0:
+            raise VerifierError(f"insn {i}: division by constant zero")
+        if op in (isa.BPF_LSH, isa.BPF_RSH, isa.BPF_ARSH) and insn.uses_imm:
+            width = 64 if cls == isa.BPF_ALU64 else 32
+            if not 0 <= insn.imm < width:
+                raise VerifierError(f"insn {i}: shift amount {insn.imm} out of range")
+    elif cls == isa.BPF_JMP:
+        op = insn.alu_op
+        if op not in _VALID_JMP_OPS:
+            raise VerifierError(f"insn {i}: unknown JMP op {op:#x}")
+        if op == isa.BPF_CALL and insn.imm not in HELPERS:
+            raise VerifierError(f"insn {i}: unknown helper id {insn.imm}")
+        if op not in (isa.BPF_CALL, isa.BPF_EXIT) and insn.offset < 0:
+            raise VerifierError(
+                f"insn {i}: backward jump (offset {insn.offset}); loops are rejected"
+            )
+    elif cls == isa.BPF_JMP32:
+        raise VerifierError(f"insn {i}: JMP32 class not supported by this verifier")
+    elif cls in (isa.BPF_LDX, isa.BPF_ST, isa.BPF_STX):
+        if (insn.opcode & isa.MODE_MASK) != isa.BPF_MEM:
+            raise VerifierError(f"insn {i}: unsupported addressing mode")
+        # Direct frame-pointer accesses must stay inside the 512-byte frame.
+        pointer_reg = insn.src if cls == isa.BPF_LDX else insn.dst
+        if pointer_reg == isa.FRAME_POINTER:
+            size = insn.size_bytes
+            if not -isa.STACK_SIZE <= insn.offset <= -size:
+                raise VerifierError(
+                    f"insn {i}: stack access at fp{insn.offset:+} size {size} "
+                    f"outside the {isa.STACK_SIZE}-byte frame"
+                )
+
+
+def _require_init(state: int, reg: int, index: int, what: str) -> None:
+    if not state & _bit(reg):
+        raise VerifierError(f"insn {index}: read of uninitialized register r{reg} ({what})")

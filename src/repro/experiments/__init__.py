@@ -1,0 +1,18 @@
+"""Experiment scenarios reproducing the paper's evaluation (§IV).
+
+Each module builds its topology from :mod:`repro.experiments.topologies`
+and returns structured results; the ``benchmarks/`` tree and the
+runnable ``examples/`` are thin wrappers over these runners, so every
+figure regenerates from one code path.
+
+==================  ================================================
+module              paper content
+==================  ================================================
+overhead            Fig. 7(a) latency overhead, Fig. 7(b) throughput
+                    vs. SystemTap on 1 G / 10 G
+ovs_case            Case Study I: Fig. 8(b), Fig. 9(a), Fig. 9(b)
+xen_case            Case Study II: Fig. 10(a/b), Fig. 11(a/b)
+container_case      Case Study III: Fig. 12(b), Fig. 13(a/b)
+clocksync_case      §III-B Cristian estimation accuracy (Fig. 4)
+==================  ================================================
+"""

@@ -1,0 +1,351 @@
+"""Topology builders for the paper's evaluation setups (§IV-A).
+
+Each builder wires hosts, VMs, switches, and neighbor/FDB state into a
+ready-to-run scene and returns a small named object exposing the pieces
+experiments touch (nodes, IPs, hook names).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.addressing import IPv4Address
+from repro.net.bridge import BridgeDevice
+from repro.net.costs import CostModel, DEFAULT_COSTS
+from repro.net.nic import Link, PhysicalNIC, connect_hosts
+from repro.sim.engine import Engine
+from repro.sim.rng import SeededRNG
+from repro.virt.container import Container
+from repro.virt.machine import PhysicalHost, VirtualMachine
+from repro.virt.overlay import EtcdStore, OverlayNetwork, OverlayMember
+from repro.virt.ovs import OVSBridge
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7(a): two hosts, one KVM VM each, OVS on each host, physical link.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TwoHostKVMScene:
+    engine: Engine
+    host1: PhysicalHost
+    host2: PhysicalHost
+    vm1: VirtualMachine
+    vm2: VirtualMachine
+    vm1_ip: IPv4Address
+    vm2_ip: IPv4Address
+    ovs1: OVSBridge
+    ovs2: OVSBridge
+    link: Link
+    nic1: PhysicalNIC
+    nic2: PhysicalNIC
+    host1_ip: IPv4Address
+    host2_ip: IPv4Address
+
+
+def build_two_host_kvm(
+    seed: int = 7,
+    link_gbps: float = 1.0,
+    costs: Optional[CostModel] = None,
+    clock_offset2_ns: int = 1_500_000,
+    clock_drift2_ppm: float = 20.0,
+) -> TwoHostKVMScene:
+    """Two servers, a KVM VM on each, OVS bridging VM + NIC per host."""
+    engine = Engine()
+    costs = costs or DEFAULT_COSTS
+    rng = SeededRNG(seed, "two-host")
+    host1 = PhysicalHost(engine, "host1", costs=costs, rng=rng.fork("h1"))
+    host2 = PhysicalHost(
+        engine,
+        "host2",
+        costs=costs,
+        rng=rng.fork("h2"),
+        clock_offset_ns=clock_offset2_ns,
+        clock_drift_ppm=clock_drift2_ppm,
+    )
+    vm1 = host1.create_kvm_vm("vm1")
+    vm2 = host2.create_kvm_vm("vm2")
+    vm1_ip, vm2_ip = IPv4Address("192.168.1.10"), IPv4Address("192.168.1.20")
+    fe1, be1 = vm1.attach_virtio_nic(vm1_ip, frontend_name="ens3")
+    fe2, be2 = vm2.attach_virtio_nic(vm2_ip, frontend_name="ens3")
+
+    nic1, nic2, link = connect_hosts(
+        engine, host1.node, "eth0", host2.node, "eth0", rate_gbps=link_gbps
+    )
+    host1_ip, host2_ip = IPv4Address("192.168.1.1"), IPv4Address("192.168.1.2")
+
+    # Host IPs live on the OVS LOCAL port, as in real OVS deployments;
+    # host-originated traffic enters the switch through the bridge device.
+    ovs1 = OVSBridge(host1.node, "ovs-br1", ip=host1_ip)
+    ovs2 = OVSBridge(host2.node, "ovs-br1", ip=host2_ip)
+    p_be1, p_nic1 = ovs1.add_port(be1), ovs1.add_port(nic1)
+    p_be2, p_nic2 = ovs2.add_port(be2), ovs2.add_port(nic2)
+    host1.node.add_route(IPv4Address("192.168.1.0"), 24, ovs1, src_ip=host1_ip)
+    host2.node.add_route(IPv4Address("192.168.1.0"), 24, ovs2, src_ip=host2_ip)
+    host1.node.add_neighbor(host2_ip, ovs2.mac)
+    host2.node.add_neighbor(host1_ip, ovs1.mac)
+
+    vm1.node.add_neighbor(vm2_ip, fe2.mac)
+    vm2.node.add_neighbor(vm1_ip, fe1.mac)
+    ovs1.fdb[fe1.mac.value] = p_be1
+    ovs1.fdb[fe2.mac.value] = p_nic1
+    ovs1.fdb[ovs2.mac.value] = p_nic1
+    ovs2.fdb[fe2.mac.value] = p_be2
+    ovs2.fdb[fe1.mac.value] = p_nic2
+    ovs2.fdb[ovs1.mac.value] = p_nic2
+
+    return TwoHostKVMScene(
+        engine, host1, host2, vm1, vm2, vm1_ip, vm2_ip, ovs1, ovs2,
+        link, nic1, nic2, host1_ip, host2_ip,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7(b): physical client + Xen server VM over a 1 G / 10 G link.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class NetperfXenScene:
+    engine: Engine
+    client_host: PhysicalHost
+    server_host: PhysicalHost
+    server_vm: VirtualMachine
+    client_ip: IPv4Address
+    vm_ip: IPv4Address
+    link: Link
+
+
+def build_netperf_xen(
+    seed: int = 11,
+    link_gbps: float = 1.0,
+    costs: Optional[CostModel] = None,
+    ratelimit_us: int = 1000,
+) -> NetperfXenScene:
+    """Netperf client on bare metal -> server inside a 1-vCPU Xen VM."""
+    engine = Engine()
+    costs = costs or DEFAULT_COSTS
+    rng = SeededRNG(seed, "netperf-xen")
+    client_host = PhysicalHost(engine, "client", costs=costs, rng=rng.fork("c"))
+    server_host = PhysicalHost(engine, "server", costs=costs, rng=rng.fork("s"))
+    server_vm = server_host.create_xen_vm(
+        "vm1", pcpu_index=0, num_vcpus=1, ratelimit_us=ratelimit_us
+    )
+
+    client_ip = IPv4Address("192.168.2.1")
+    vm_ip = IPv4Address("192.168.2.20")
+    dom0_ip = IPv4Address("192.168.2.2")
+
+    nic_c, nic_s, link = connect_hosts(
+        engine, client_host.node, "eth0", server_host.node, "eth0",
+        rate_gbps=link_gbps,
+    )
+    nic_c.ip = client_ip
+    client_host.node.add_route(IPv4Address("192.168.2.0"), 24, nic_c, src_ip=client_ip)
+
+    fe, be = server_vm.attach_vif_nic(vm_ip, frontend_name="eth1", backend_name="vif1.0")
+    xenbr0 = BridgeDevice(server_host.node, "xenbr0", ip=dom0_ip)
+    xenbr0.add_port(nic_s)
+    xenbr0.add_port(be)
+    xenbr0.fdb[fe.mac.value] = be
+    xenbr0.fdb[nic_c.mac.value] = nic_s
+
+    client_host.node.add_neighbor(vm_ip, fe.mac)
+    server_vm.node.add_neighbor(client_ip, nic_c.mac)
+
+    return NetperfXenScene(
+        engine, client_host, server_host, server_vm, client_ip, vm_ip, link
+    )
+
+
+# ---------------------------------------------------------------------------
+# Case Study I: three KVM VMs on one host through a single OVS (Fig. 8a).
+# ---------------------------------------------------------------------------
+
+@dataclass
+class OVSCaseScene:
+    engine: Engine
+    host: PhysicalHost
+    vms: List[VirtualMachine]
+    vm_ips: List[IPv4Address]
+    ovs: OVSBridge
+    ports: Dict[str, object] = field(default_factory=dict)  # vnetN -> OVSPort
+
+
+def build_ovs_case(
+    seed: int = 13,
+    num_vms: int = 3,
+    costs: Optional[CostModel] = None,
+) -> OVSCaseScene:
+    engine = Engine()
+    costs = costs or DEFAULT_COSTS
+    rng = SeededRNG(seed, "ovs-case")
+    host = PhysicalHost(engine, "host1", costs=costs, rng=rng.fork("h"))
+    ovs = OVSBridge(host.node, "ovs-br1")
+    vms, ips, frontends = [], [], []
+    scene_ports: Dict[str, object] = {}
+    for index in range(num_vms):
+        vm = host.create_kvm_vm(f"vm{index}")
+        ip = IPv4Address(f"10.0.0.{index + 1}")
+        fe, be = vm.attach_virtio_nic(ip, frontend_name="em", backend_name=f"vnet{index}")
+        port = ovs.add_port(be)
+        scene_ports[be.name] = port
+        vms.append(vm)
+        ips.append(ip)
+        frontends.append(fe)
+        ovs.fdb[fe.mac.value] = port
+    for i, vm in enumerate(vms):
+        for j, ip in enumerate(ips):
+            if i != j:
+                vm.node.add_neighbor(ip, frontends[j].mac)
+    return OVSCaseScene(engine, host, vms, ips, ovs, scene_ports)
+
+
+# ---------------------------------------------------------------------------
+# Case Study II: Xen server (I/O VM + CPU-hog VM on one pCPU), remote client,
+# the application inside a container on the I/O VM (Fig. 10/11).
+# ---------------------------------------------------------------------------
+
+@dataclass
+class XenCaseScene:
+    engine: Engine
+    client_host: PhysicalHost
+    server_host: PhysicalHost
+    io_vm: VirtualMachine
+    hog_vm: Optional[VirtualMachine]
+    container: Container
+    client_ip: IPv4Address
+    vm_ip: IPv4Address
+    container_ip: IPv4Address
+    veth_name: str
+
+
+def build_xen_case(
+    seed: int = 17,
+    with_cpu_hog: bool = True,
+    ratelimit_us: int = 1000,
+    costs: Optional[CostModel] = None,
+    link_gbps: float = 1.0,
+) -> XenCaseScene:
+    engine = Engine()
+    costs = costs or DEFAULT_COSTS
+    rng = SeededRNG(seed, "xen-case")
+    client_host = PhysicalHost(engine, "client", costs=costs, rng=rng.fork("c"))
+    server_host = PhysicalHost(
+        engine, "xenhost", costs=costs, rng=rng.fork("s"),
+        clock_offset_ns=3_700_000, clock_drift_ppm=12.0,
+    )
+    io_vm = server_host.create_xen_vm(
+        "vm1", pcpu_index=0, num_vcpus=1, ratelimit_us=ratelimit_us
+    )
+    hog_vm = None
+    if with_cpu_hog:
+        hog_vm = server_host.create_xen_vm(
+            "vm2", pcpu_index=0, num_vcpus=1, cpu_hog=True, ratelimit_us=ratelimit_us
+        )
+
+    client_ip = IPv4Address("192.168.2.1")
+    vm_ip = IPv4Address("192.168.2.20")
+    container_ip = IPv4Address("172.17.0.2")
+    dom0_ip = IPv4Address("192.168.2.2")
+
+    nic_c, nic_s, link = connect_hosts(
+        engine, client_host.node, "eth0", server_host.node, "eth0",
+        rate_gbps=link_gbps, propagation_ns=5_000,  # same-rack, one ToR hop
+    )
+    nic_c.ip = client_ip
+    client_host.node.add_route(IPv4Address("172.17.0.0"), 16, nic_c, src_ip=client_ip)
+    client_host.node.add_route(IPv4Address("192.168.2.0"), 24, nic_c, src_ip=client_ip)
+
+    fe, be = io_vm.attach_vif_nic(vm_ip, frontend_name="eth1", backend_name="vif1.0")
+    xenbr0 = BridgeDevice(server_host.node, "xenbr0", ip=dom0_ip)
+    xenbr0.add_port(nic_s)
+    xenbr0.add_port(be)
+    xenbr0.fdb[fe.mac.value] = be
+    xenbr0.fdb[nic_c.mac.value] = nic_s
+    # Dom0's own L3 presence (management / clock-sync traffic).
+    server_host.node.add_route(IPv4Address("192.168.2.0"), 24, xenbr0, src_ip=dom0_ip)
+    server_host.node.add_neighbor(client_ip, nic_c.mac)
+    client_host.node.add_neighbor(dom0_ip, xenbr0.mac)
+
+    # The application runs inside a container on the I/O VM (the paper:
+    # "All the applications were running within containers on the VMs").
+    guest = io_vm.node
+    guest.ip_forward = True
+    docker0 = BridgeDevice(guest, "docker0", ip=IPv4Address("172.17.0.1"))
+    container = Container(guest, "app", container_ip, docker0, host_veth_name="veth684a1d9")
+    # Host-side pinpoint route to the container, then the container's
+    # replies to the client leave via eth1 directly.
+    guest.add_route(container_ip, 32, docker0)
+    guest.add_neighbor(client_ip, nic_c.mac)
+
+    # L2 plumbing: the client addresses the container IP; frames are
+    # carried to the VM's eth1 MAC and forwarded by the guest kernel.
+    client_host.node.add_neighbor(container_ip, fe.mac)
+    client_host.node.add_neighbor(vm_ip, fe.mac)
+
+    return XenCaseScene(
+        engine, client_host, server_host, io_vm, hog_vm, container,
+        client_ip, vm_ip, container_ip, container.host_veth_name,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Case Study III: two KVM VMs on one host, Docker overlay between them
+# (Fig. 12a).
+# ---------------------------------------------------------------------------
+
+@dataclass
+class OverlayCaseScene:
+    engine: Engine
+    host: PhysicalHost
+    vm1: VirtualMachine
+    vm2: VirtualMachine
+    vm1_ip: IPv4Address
+    vm2_ip: IPv4Address
+    overlay: OverlayNetwork
+    member1: OverlayMember
+    member2: OverlayMember
+    container1: Container
+    container2: Container
+    c1_ip: IPv4Address
+    c2_ip: IPv4Address
+    etcd: EtcdStore
+
+
+def build_overlay_case(
+    seed: int = 23,
+    costs: Optional[CostModel] = None,
+    vm_gso_bytes: int = 65160,
+) -> OverlayCaseScene:
+    """Two VMs on one host (linux bridge between their backends), a
+    Docker overlay (VXLAN, etcd) connecting one container on each."""
+    engine = Engine()
+    costs = costs or DEFAULT_COSTS
+    rng = SeededRNG(seed, "overlay-case")
+    host = PhysicalHost(engine, "host1", costs=costs, rng=rng.fork("h"))
+    vm1 = host.create_kvm_vm("vm1")
+    vm2 = host.create_kvm_vm("vm2")
+    vm1_ip, vm2_ip = IPv4Address("192.168.3.11"), IPv4Address("192.168.3.12")
+    fe1, be1 = vm1.attach_virtio_nic(vm1_ip, frontend_name="eth0")
+    fe2, be2 = vm2.attach_virtio_nic(vm2_ip, frontend_name="eth0")
+    hostbr = BridgeDevice(host.node, "virbr0")
+    hostbr.add_port(be1)
+    hostbr.add_port(be2)
+    hostbr.fdb[fe1.mac.value] = be1
+    hostbr.fdb[fe2.mac.value] = be2
+    vm1.node.add_neighbor(vm2_ip, fe2.mac)
+    vm2.node.add_neighbor(vm1_ip, fe1.mac)
+
+    etcd = EtcdStore()
+    overlay = OverlayNetwork("ovnet", vni=42, subnet=IPv4Address("10.32.0.0"), etcd=etcd)
+    member1 = overlay.join(vm1.node, vm1_ip)
+    member2 = overlay.join(vm2.node, vm2_ip)
+    c1_ip, c2_ip = IPv4Address("10.32.0.2"), IPv4Address("10.32.0.3")
+    container1 = overlay.create_container(member1, "c1", c1_ip)
+    container2 = overlay.create_container(member2, "c2", c2_ip)
+
+    return OverlayCaseScene(
+        engine, host, vm1, vm2, vm1_ip, vm2_ip, overlay, member1, member2,
+        container1, container2, c1_ip, c2_ip, etcd,
+    )

@@ -1,0 +1,79 @@
+"""The substrate's cost model: nanoseconds per kernel stage.
+
+All timing constants live here so experiments and ablations tune one
+object.  Values are calibrated to commodity Xeon-era hardware (the
+paper's testbed: dual E5-2640 v4, Linux 4.10) at the order-of-magnitude
+level; EXPERIMENTS.md records how measured shapes compare to the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+@dataclass
+class CostModel:
+    """Per-stage service times (ns) and structural parameters."""
+
+    # -- socket / L4 send path ------------------------------------------------
+    syscall_send_ns: int = 900  # user->kernel crossing + copy
+    udp_send_skb_ns: int = 600
+    tcp_transmit_skb_ns: int = 850
+    tcp_options_write_ns: int = 120
+    ip_output_ns: int = 350
+    dev_queue_xmit_ns: int = 300
+
+    # -- receive path -----------------------------------------------------------
+    net_rx_action_invocation_ns: int = 1800  # softirq entry/exit + NAPI poll setup
+    ksoftirqd_wake_ns: int = 2600  # sleep->wake when the backlog was empty
+    ip_rcv_ns: int = 450
+    ip_forward_ns: int = 520
+    udp_rcv_ns: int = 420
+    tcp_v4_rcv_ns: int = 650
+    socket_deliver_ns: int = 500
+    socket_wakeup_ns: int = 1800  # waking a blocked reader
+    napi_budget: int = 64  # packets drained per net_rx_action run
+
+    # -- devices -----------------------------------------------------------------
+    veth_xmit_ns: int = 260
+    bridge_forward_ns: int = 420
+    vxlan_encap_ns: int = 1400
+    vxlan_decap_ns: int = 2000
+    nic_xmit_ns: int = 500  # DMA setup / doorbell
+
+    # -- virtualization ------------------------------------------------------------
+    virtio_tx_ns: int = 2300  # guest->host: kick + vhost copy
+    virtio_rx_ns: int = 2500  # host->guest: copy + interrupt injection
+    xen_netback_ns: int = 2900  # Dom0 vif -> shared ring
+    xen_netfront_ns: int = 1600  # guest picks the packet out of the ring
+    vm_exit_ns: int = 1200
+
+    # -- OVS ------------------------------------------------------------------------
+    ovs_port_rx_ns: int = 380  # ingress port processing before the queue
+    ovs_switch_ns: int = 1150  # flow lookup + actions, per packet
+    ovs_switch_per_busy_port_ns: int = 450  # extra per additional busy ingress port
+    ovs_ingress_queue_packets: int = 512  # per-port ingress queue capacity
+    ovs_port_tx_ns: int = 320
+
+    # -- links -------------------------------------------------------------------------
+    propagation_inter_host_ns: int = 20_000  # cable + ToR switch
+    propagation_local_ns: int = 0
+
+    # -- misc ----------------------------------------------------------------------------
+    rx_backlog_packets: int = 1000  # per-CPU input_pkt_queue limit
+    timer_noise_sigma: float = 0.06  # lognormal sigma applied to stage times
+
+    extras: dict = field(default_factory=dict)
+
+    def with_overrides(self, **overrides) -> "CostModel":
+        """A copy with some constants replaced (ablation helper)."""
+        return replace(self, **overrides)
+
+
+DEFAULT_COSTS = CostModel()
+
+
+def gbps_to_ns_per_byte(gbps: float) -> float:
+    """Serialization time per byte on a link of the given rate."""
+    bits_per_ns = gbps  # 1 Gbps == 1 bit/ns
+    return 8.0 / bits_per_ns

@@ -1,0 +1,186 @@
+"""ICMP echo (ping): the classic connectivity and RTT diagnostic.
+
+vNetTracer's operators reach for ping constantly (is the overlay even
+connected? what is the raw RTT before blaming the application?), so the
+substrate carries a minimal ICMP implementation: echo request/reply
+with identifier/sequence/payload, a per-node responder wired into the
+IP input path, and a :class:`Ping` driver that reports per-sequence
+RTTs.  Packets use the real ICMP header layout, so captures of them
+open in Wireshark.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.net.addressing import IPv4Address
+from repro.net.checksum import internet_checksum
+from repro.net.packet import (
+    ETHERTYPE_IPV4,
+    EthernetHeader,
+    IPPROTO_ICMP,
+    IPv4Header,
+    Packet,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.stack import KernelNode
+
+ICMP_ECHO_REQUEST = 8
+ICMP_ECHO_REPLY = 0
+ICMP_HEADER = struct.Struct("!BBHHH")  # type, code, checksum, id, seq
+
+HOOK_ICMP_RCV = "kprobe:icmp_rcv"
+ICMP_PROCESS_COST_NS = 450
+
+
+def build_echo(
+    icmp_type: int, identifier: int, sequence: int, payload: bytes
+) -> bytes:
+    """Serialize an ICMP echo message with a correct checksum."""
+    without_csum = ICMP_HEADER.pack(icmp_type, 0, 0, identifier, sequence) + payload
+    checksum = internet_checksum(without_csum)
+    return ICMP_HEADER.pack(icmp_type, 0, checksum, identifier, sequence) + payload
+
+
+def parse_echo(data: bytes):
+    """(type, identifier, sequence, payload) of an echo message."""
+    if len(data) < ICMP_HEADER.size:
+        raise ValueError("truncated ICMP message")
+    icmp_type, code, _checksum, identifier, sequence = ICMP_HEADER.unpack(
+        data[: ICMP_HEADER.size]
+    )
+    return icmp_type, identifier, sequence, data[ICMP_HEADER.size:]
+
+
+class ICMPResponder:
+    """Per-node echo responder (the kernel's icmp_rcv + icmp_reply)."""
+
+    def __init__(self, node: "KernelNode"):
+        self.node = node
+        self.requests_answered = 0
+        self._listeners: Dict[int, Callable[[int, int, bytes, Packet], None]] = {}
+        node.register_icmp(self)
+
+    def register_listener(
+        self, identifier: int, callback: Callable[[int, int, bytes, Packet], None]
+    ) -> None:
+        """Route echo *replies* with this identifier to a ping client."""
+        self._listeners[identifier] = callback
+
+    def unregister_listener(self, identifier: int) -> None:
+        self._listeners.pop(identifier, None)
+
+    def receive(self, packet: Packet, cpu) -> None:
+        """Called by the node's IP input for protocol 1."""
+        node = self.node
+        payload = packet.payload if isinstance(packet.payload, bytes) else b""
+        try:
+            icmp_type, identifier, sequence, body = parse_echo(payload)
+        except ValueError:
+            return
+        hook_cost = node.fire_function_hook(HOOK_ICMP_RCV, packet, cpu)
+
+        def act() -> None:
+            if icmp_type == ICMP_ECHO_REQUEST:
+                self.requests_answered += 1
+                self._reply(packet, identifier, sequence, body, cpu)
+            elif icmp_type == ICMP_ECHO_REPLY:
+                listener = self._listeners.get(identifier)
+                if listener is not None:
+                    listener(identifier, sequence, body, packet)
+
+        node.charge(cpu, hook_cost + node.noisy(ICMP_PROCESS_COST_NS), act, front=True)
+
+    def _reply(self, request: Packet, identifier: int, sequence: int,
+               body: bytes, cpu) -> None:
+        node = self.node
+        reply = Packet(
+            [
+                EthernetHeader(request.eth.src, request.eth.dst, ETHERTYPE_IPV4),
+                IPv4Header(request.ip.dst, request.ip.src, IPPROTO_ICMP),
+            ],
+            build_echo(ICMP_ECHO_REPLY, identifier, sequence, body),
+            app="ping-reply",
+            app_seq=sequence,
+            created_at_ns=node.engine.now,
+        )
+        node.send_ip(reply, cpu, dst_ip=request.ip.src)
+
+
+class Ping:
+    """A ping client: fixed-interval echo requests, per-sequence RTTs."""
+
+    _next_identifier = [0x1000]
+
+    def __init__(
+        self,
+        node: "KernelNode",
+        src_ip: IPv4Address,
+        dst_ip: IPv4Address,
+        payload_bytes: int = 56,
+        interval_ns: int = 1_000_000,
+        cpu_index: Optional[int] = None,
+    ):
+        self.node = node
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.payload_bytes = payload_bytes
+        self.interval_ns = interval_ns
+        self.cpu_index = cpu_index if cpu_index is not None else (
+            1 if len(node.cpus) > 1 else 0
+        )
+        Ping._next_identifier[0] += 1
+        self.identifier = Ping._next_identifier[0]
+        self.responder = node.icmp if node.icmp is not None else ICMPResponder(node)
+        self.responder.register_listener(self.identifier, self._on_reply)
+        self._send_times: Dict[int, int] = {}
+        self.rtts_ns: List[int] = []
+        self.sent = 0
+        self.received = 0
+        self._remaining = 0
+
+    def start(self, count: int) -> None:
+        self._remaining = count
+        self._tick()
+
+    def _tick(self) -> None:
+        if self._remaining <= 0:
+            return
+        self._remaining -= 1
+        sequence = self.sent
+        self.sent += 1
+        self._send_times[sequence] = self.node.engine.now
+        self._send_request(sequence)
+        self.node.engine.schedule(self.interval_ns, self._tick)
+
+    def _send_request(self, sequence: int) -> None:
+        node = self.node
+        route = node.route_lookup(self.dst_ip)
+        request = Packet(
+            [
+                EthernetHeader(node.resolve_mac(route.gateway or self.dst_ip),
+                               route.device.mac, ETHERTYPE_IPV4),
+                IPv4Header(self.src_ip, self.dst_ip, IPPROTO_ICMP),
+            ],
+            build_echo(ICMP_ECHO_REQUEST, self.identifier, sequence,
+                       bytes(self.payload_bytes)),
+            app="ping",
+            app_seq=sequence,
+            created_at_ns=node.engine.now,
+        )
+        cpu = node.cpus[self.cpu_index]
+        node.charge(cpu, node.noisy(node.costs.syscall_send_ns),
+                    lambda: node.send_ip(request, cpu, dst_ip=self.dst_ip))
+
+    def _on_reply(self, identifier: int, sequence: int, _body: bytes, _packet) -> None:
+        sent_at = self._send_times.pop(sequence, None)
+        if sent_at is None:
+            return
+        self.received += 1
+        self.rtts_ns.append(self.node.engine.now - sent_at)
+
+    @property
+    def loss_count(self) -> int:
+        return self.sent - self.received

@@ -1,0 +1,511 @@
+"""The kernel: devices, routes, sockets, and the protocol stack stages.
+
+A :class:`KernelNode` is one Linux kernel instance -- a physical host,
+a Dom0, or a guest.  Its protocol path is organised as the *named kernel
+functions* the paper instruments (``udp_send_skb``, ``ip_output``,
+``dev_queue_xmit``, ``net_rx_action``, ``udp_rcv``, ``tcp_v4_rcv``,
+``tcp_recvmsg`` ...), each firing a hook that attached eBPF programs
+run at.  Stage service times come from the node's
+:class:`~repro.net.costs.CostModel` and are charged on simulated CPUs,
+so probe overhead genuinely delays packets and steals CPU capacity.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, NamedTuple, Optional, TYPE_CHECKING
+
+from repro.ebpf.probes import HookRegistry, ProbeEvent
+from repro.net.addressing import IPv4Address, MACAddress
+from repro.net.costs import DEFAULT_COSTS, CostModel
+from repro.net.device import NetDevice
+from repro.net.packet import (
+    IPPROTO_ICMP,
+    IPPROTO_TCP,
+    IPPROTO_UDP,
+    Packet,
+    make_udp_packet,
+)
+from repro.net.softirq import SoftirqNet
+from repro.sim.clock import NodeClock
+from repro.sim.cpu import CPU
+from repro.sim.engine import Engine, Signal
+from repro.sim.rng import SeededRNG
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.tcp import TCPStack
+
+_mac_counter = itertools.count(0x10)
+
+HOOK_UDP_SEND_SKB = "kprobe:udp_send_skb"
+HOOK_IP_OUTPUT = "kprobe:ip_output"
+HOOK_DEV_QUEUE_XMIT = "kprobe:dev_queue_xmit"
+HOOK_IP_RCV = "kprobe:ip_rcv"
+HOOK_UDP_RCV = "kprobe:udp_rcv"
+HOOK_TCP_V4_RCV = "kprobe:tcp_v4_rcv"
+HOOK_TCP_RECVMSG = "kretprobe:tcp_recvmsg"
+HOOK_GET_RPS_CPU = "kprobe:get_rps_cpu"
+HOOK_SKB_COPY_DATAGRAM = "kprobe:skb_copy_datagram_iovec"
+
+
+class Route(NamedTuple):
+    network: IPv4Address
+    prefix_len: int
+    device: NetDevice
+    src_ip: Optional[IPv4Address] = None
+    gateway: Optional[IPv4Address] = None
+
+
+class StackError(RuntimeError):
+    """Configuration errors (duplicate binds, no route, ...)."""
+
+
+class UDPSocket:
+    """A bound UDP endpoint.
+
+    Receive either by assigning :attr:`on_receive` (callback style) or
+    by waiting on :meth:`recv_signal` from a SimProcess.
+    """
+
+    def __init__(self, node: "KernelNode", ip: IPv4Address, port: int, cpu_index: int = 0):
+        self.node = node
+        self.ip = ip
+        self.port = port
+        self.cpu_index = cpu_index
+        self.on_receive: Optional[Callable[[bytes, IPv4Address, int, Packet], None]] = None
+        self.recv_queue: List[tuple] = []
+        self._waiter: Optional[Signal] = None
+        self.rx_packets = 0
+        self.rx_bytes = 0
+        self.tx_packets = 0
+        self.closed = False
+
+    def sendto(
+        self,
+        dst_ip: IPv4Address,
+        dst_port: int,
+        payload: bytes,
+        app: str = "",
+        app_seq: int = 0,
+    ) -> None:
+        self.tx_packets += 1
+        self.node.udp_send(self, dst_ip, dst_port, payload, app=app, app_seq=app_seq)
+
+    def deliver(self, payload: bytes, src_ip: IPv4Address, src_port: int, packet: Packet) -> None:
+        if self.closed:
+            return
+        self.rx_packets += 1
+        self.rx_bytes += len(payload)
+        if self.on_receive is not None:
+            self.on_receive(payload, src_ip, src_port, packet)
+            return
+        self.recv_queue.append((payload, src_ip, src_port, packet))
+        if self._waiter is not None:
+            waiter, self._waiter = self._waiter, None
+            waiter.trigger()
+
+    def recv_signal(self) -> Signal:
+        """A signal that fires when a datagram is (or already was) queued."""
+        signal = Signal(self.node.engine)
+        if self.recv_queue:
+            signal.trigger()
+        else:
+            self._waiter = signal
+        return signal
+
+    def close(self) -> None:
+        self.closed = True
+        self.node.unbind_udp(self)
+
+
+class KernelNode:
+    """One kernel instance with CPUs, devices, hooks, and sockets."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        num_cpus: int = 4,
+        costs: Optional[CostModel] = None,
+        rng: Optional[SeededRNG] = None,
+        clock: Optional[NodeClock] = None,
+        cpus: Optional[List[CPU]] = None,
+    ):
+        self.engine = engine
+        self.name = name
+        self.costs = costs or DEFAULT_COSTS
+        self.rng = rng or SeededRNG(0, f"node/{name}")
+        self.clock = clock or NodeClock(engine)
+        if cpus is not None:
+            self.cpus = cpus
+        else:
+            self.cpus = [
+                CPU(engine, name=f"{name}/cpu{i}", index=i) for i in range(num_cpus)
+            ]
+        self.hooks = HookRegistry(node_name=name)
+        self.softirq = SoftirqNet(self)
+        self.devices: Dict[str, NetDevice] = {}
+        self._ifindex_counter = itertools.count(1)
+        self.routes: List[Route] = []
+        self.neighbors: Dict[int, MACAddress] = {}
+        self._udp_sockets: Dict[tuple, UDPSocket] = {}
+        self._vxlan_ports: Dict[int, object] = {}  # udp port -> VXLANDevice
+        self.traceid = None  # set by repro.net.traceid.enable_trace_ids
+        self.icmp = None  # set by repro.net.icmp.ICMPResponder
+        self._tcp: Optional["TCPStack"] = None
+        self.ip_forward = False
+
+    def register_icmp(self, responder) -> None:
+        self.icmp = responder
+
+    # -- plumbing -----------------------------------------------------------
+
+    def next_mac(self) -> MACAddress:
+        return MACAddress.from_index(next(_mac_counter))
+
+    def register_device(self, device: NetDevice) -> int:
+        if device.name in self.devices:
+            raise StackError(f"{self.name}: duplicate device {device.name!r}")
+        self.devices[device.name] = device
+        return next(self._ifindex_counter)
+
+    def device(self, name: str) -> NetDevice:
+        try:
+            return self.devices[name]
+        except KeyError:
+            raise StackError(f"{self.name}: no device {name!r}") from None
+
+    def noisy(self, base_ns: int) -> int:
+        """Service-time jitter: lognormal around the base cost."""
+        sigma = self.costs.timer_noise_sigma
+        if sigma <= 0 or base_ns <= 0:
+            return int(base_ns)
+        return self.rng.lognormal_ns(base_ns, sigma)
+
+    def charge(
+        self,
+        cpu: Optional[CPU],
+        cost_ns: int,
+        fn: Callable[[], None],
+        front: bool = False,
+        noise: bool = False,
+    ) -> None:
+        """Charge ``cost_ns`` (on ``cpu`` if given) then run ``fn``."""
+        cost = self.noisy(cost_ns) if noise else int(cost_ns)
+        if cpu is None:
+            self.engine.schedule(cost, fn)
+        elif cost <= 0:
+            fn()
+        elif front:
+            cpu.submit_front(cost, fn)
+        else:
+            cpu.submit(cost, fn)
+
+    # -- hooks ------------------------------------------------------------------
+
+    def fire_device_hook(self, device: NetDevice, packet: Packet, cpu, direction: str) -> int:
+        event = ProbeEvent(
+            hook=f"dev:{device.name}",
+            node=self.name,
+            packet=packet,
+            ifindex=device.ifindex,
+            devname=device.name,
+            cpu=cpu.index if cpu is not None else 0,
+            direction=direction,
+        )
+        return self.hooks.fire(event)
+
+    def fire_function_hook(
+        self,
+        hook: str,
+        packet: Optional[Packet],
+        cpu,
+        device: Optional[NetDevice] = None,
+        extra: Optional[dict] = None,
+    ) -> int:
+        event = ProbeEvent(
+            hook=hook,
+            node=self.name,
+            packet=packet,
+            ifindex=device.ifindex if device else 0,
+            devname=device.name if device else "",
+            cpu=cpu.index if cpu is not None else 0,
+            extra=extra,
+        )
+        return self.hooks.fire(event)
+
+    def fire_steering_hook(self, device: NetDevice, packet: Packet, cpu_index: int) -> int:
+        event = ProbeEvent(
+            hook=HOOK_GET_RPS_CPU,
+            node=self.name,
+            packet=packet,
+            ifindex=device.ifindex,
+            devname=device.name,
+            cpu=cpu_index,
+            extra={"steered_cpu": cpu_index},
+        )
+        return self.hooks.fire(event)
+
+    # -- routing ---------------------------------------------------------------------
+
+    def add_route(
+        self,
+        network: IPv4Address,
+        prefix_len: int,
+        device: NetDevice,
+        src_ip: Optional[IPv4Address] = None,
+        gateway: Optional[IPv4Address] = None,
+    ) -> None:
+        self.routes.append(Route(network, prefix_len, device, src_ip, gateway))
+        self.routes.sort(key=lambda r: -r.prefix_len)
+
+    def route_lookup(self, dst_ip: IPv4Address) -> Route:
+        for route in self.routes:
+            if dst_ip.in_subnet(route.network, route.prefix_len):
+                return route
+        raise StackError(f"{self.name}: no route to {dst_ip}")
+
+    def add_neighbor(self, ip: IPv4Address, mac: MACAddress) -> None:
+        self.neighbors[ip.value] = mac
+
+    def resolve_mac(self, ip: IPv4Address) -> MACAddress:
+        return self.neighbors.get(ip.value, MACAddress.broadcast())
+
+    # -- UDP sockets ------------------------------------------------------------------
+
+    def bind_udp(self, ip: IPv4Address, port: int, cpu_index: Optional[int] = None) -> UDPSocket:
+        key = (ip.value, port)
+        if key in self._udp_sockets:
+            raise StackError(f"{self.name}: UDP {ip}:{port} already bound")
+        if cpu_index is None:
+            cpu_index = 1 if len(self.cpus) > 1 else 0
+        socket = UDPSocket(self, ip, port, cpu_index=cpu_index)
+        self._udp_sockets[key] = socket
+        return socket
+
+    def unbind_udp(self, socket: UDPSocket) -> None:
+        self._udp_sockets.pop((socket.ip.value, socket.port), None)
+
+    def lookup_udp(self, ip: IPv4Address, port: int) -> Optional[UDPSocket]:
+        socket = self._udp_sockets.get((ip.value, port))
+        if socket is None:
+            socket = self._udp_sockets.get((0, port))  # INADDR_ANY
+        return socket
+
+    def register_vxlan_port(self, udp_port: int, vxlan_device) -> None:
+        self._vxlan_ports[udp_port] = vxlan_device
+
+    # -- TCP --------------------------------------------------------------------------------
+
+    @property
+    def tcp(self) -> "TCPStack":
+        if self._tcp is None:
+            from repro.net.tcp import TCPStack
+
+            self._tcp = TCPStack(self)
+        return self._tcp
+
+    # -- UDP send path -----------------------------------------------------------------------
+
+    def udp_send(
+        self,
+        socket: UDPSocket,
+        dst_ip: IPv4Address,
+        dst_port: int,
+        payload: bytes,
+        app: str = "",
+        app_seq: int = 0,
+    ) -> None:
+        route = self.route_lookup(dst_ip)
+        device = route.device
+        src_ip = socket.ip if socket.ip.value != 0 else (route.src_ip or socket.ip)
+        packet = make_udp_packet(
+            device.mac,
+            self.resolve_mac(route.gateway or dst_ip),
+            src_ip,
+            dst_ip,
+            socket.port,
+            dst_port,
+            payload,
+            app=app,
+            app_seq=app_seq,
+            created_at_ns=self.engine.now,
+        )
+        cpu = self.cpus[socket.cpu_index]
+        costs = self.costs
+
+        def stage_udp_send_skb() -> None:
+            packet.log_point(self.name, "udp_send_skb", self.engine.now, cpu.index)
+            # The trace ID is written first (the paper's kernel patch
+            # runs inside udp_send_skb), so a probe here already sees it.
+            embed_cost = 0
+            if self.traceid is not None:
+                embed_cost = self.traceid.embed_udp(packet)
+            hook_cost = self.fire_function_hook(HOOK_UDP_SEND_SKB, packet, cpu, device)
+            self.charge(cpu, hook_cost + embed_cost, stage_ip_output, front=True)
+
+        def stage_ip_output() -> None:
+            packet.log_point(self.name, "ip_output", self.engine.now, cpu.index)
+            hook_cost = self.fire_function_hook(HOOK_IP_OUTPUT, packet, cpu, device)
+            self.charge(
+                cpu,
+                hook_cost + self.noisy(costs.ip_output_ns),
+                stage_dev_queue_xmit,
+                front=True,
+            )
+
+        def stage_dev_queue_xmit() -> None:
+            hook_cost = self.fire_function_hook(HOOK_DEV_QUEUE_XMIT, packet, cpu, device)
+            self.charge(
+                cpu,
+                hook_cost + self.noisy(costs.dev_queue_xmit_ns),
+                lambda: device.transmit(packet, cpu),
+                front=True,
+            )
+
+        self.charge(
+            cpu,
+            self.noisy(costs.syscall_send_ns + costs.udp_send_skb_ns),
+            stage_udp_send_skb,
+        )
+
+    def send_ip(self, packet: Packet, cpu, dst_ip: Optional[IPv4Address] = None) -> None:
+        """Route and transmit a fully-built packet (VXLAN encap, TCP)."""
+        target = dst_ip if dst_ip is not None else packet.ip.dst
+        route = self.route_lookup(target)
+        device = route.device
+        if packet.eth is not None:
+            packet.eth.src = device.mac
+            packet.eth.dst = self.resolve_mac(route.gateway or target)
+
+        def stage_xmit() -> None:
+            hook_cost = self.fire_function_hook(HOOK_DEV_QUEUE_XMIT, packet, cpu, device)
+            self.charge(
+                cpu,
+                hook_cost + self.noisy(self.costs.dev_queue_xmit_ns),
+                lambda: device.transmit(packet, cpu),
+                front=True,
+            )
+
+        hook_cost = self.fire_function_hook(HOOK_IP_OUTPUT, packet, cpu, device)
+        packet.log_point(self.name, "ip_output", self.engine.now, cpu.index if cpu else 0)
+        self.charge(cpu, hook_cost + self.noisy(self.costs.ip_output_ns), stage_xmit, front=True)
+
+    # -- receive path --------------------------------------------------------------------------
+
+    def owns_ip(self, ip: IPv4Address) -> bool:
+        return any(dev.ip == ip for dev in self.devices.values() if dev.ip is not None)
+
+    def l3_receive(self, device: NetDevice, packet: Packet, cpu) -> None:
+        """IP input: runs in softirq context after the device rx hook.
+
+        Delivery semantics: a packet addressed to the receiving
+        device's own IP is delivered locally.  A packet addressed to an
+        IP owned by *another* device of this kernel (a container's veth
+        inside the VM) is forwarded along the route -- through
+        ``docker0`` and the veth pair -- when ``ip_forward`` is on; with
+        forwarding off Linux's weak-host model applies and the packet
+        is delivered directly.
+        """
+        ip = packet.ip
+        if ip is None:
+            return  # non-IP frames (ARP etc.) are not modeled
+        packet.log_point(self.name, "ip_rcv", self.engine.now, cpu.index)
+        hook_cost = self.fire_function_hook(HOOK_IP_RCV, packet, cpu, device)
+
+        if device.ip == ip.dst:
+            local = True
+        elif self.ip_forward and (self.owns_ip(ip.dst) or self._has_forward_route(ip.dst)):
+            local = False
+        else:
+            local = True  # Linux weak-host model: deliver to the socket
+
+        def dispatch() -> None:
+            if not local:
+                # ip_forward: back out through the routing table.
+                self.charge(
+                    cpu,
+                    self.noisy(self.costs.ip_forward_ns),
+                    lambda: self.send_ip(packet, cpu),
+                    front=True,
+                )
+                return
+            if ip.protocol == IPPROTO_UDP:
+                self._udp_receive(device, packet, cpu)
+            elif ip.protocol == IPPROTO_TCP:
+                self._tcp_receive(device, packet, cpu)
+            elif ip.protocol == IPPROTO_ICMP and self.icmp is not None:
+                self.icmp.receive(packet, cpu)
+            # other protocols: counted but dropped
+
+        self.charge(cpu, hook_cost, dispatch, front=True)
+
+    def _has_forward_route(self, dst: IPv4Address) -> bool:
+        try:
+            self.route_lookup(dst)
+            return True
+        except StackError:
+            return False
+
+    def _udp_receive(self, device: NetDevice, packet: Packet, cpu) -> None:
+        udp = packet.udp
+        costs = self.costs
+        vxlan_device = self._vxlan_ports.get(udp.dst_port)
+        if vxlan_device is not None:
+            self.charge(
+                cpu,
+                self.noisy(costs.udp_rcv_ns),
+                lambda: vxlan_device.decap_receive(packet, cpu),
+                front=True,
+            )
+            return
+
+        hook_cost = self.fire_function_hook(HOOK_UDP_RCV, packet, cpu, device)
+        packet.log_point(self.name, "udp_rcv", self.engine.now, cpu.index)
+
+        def deliver_to_socket() -> None:
+            socket = self.lookup_udp(packet.ip.dst, udp.dst_port)
+            if socket is None:
+                return  # ICMP port-unreachable in real life
+            # Probe point at the entry of the app-buffer copy: the
+            # trace ID is still on the skb here; pskb_trim_rcsum()
+            # removes it just before the bytes reach the application.
+            copy_hook_cost = self.fire_function_hook(
+                HOOK_SKB_COPY_DATAGRAM, packet, cpu, device
+            )
+            strip_cost = 0
+            if self.traceid is not None:
+                strip_cost = self.traceid.strip_udp(packet)
+            payload = packet.payload if isinstance(packet.payload, bytes) else b""
+
+            def finish() -> None:
+                packet.log_point(self.name, "socket_deliver", self.engine.now, cpu.index)
+                self.charge(
+                    cpu,
+                    copy_hook_cost,
+                    lambda: socket.deliver(payload, packet.ip.src, udp.src_port, packet),
+                    front=True,
+                )
+
+            self.charge(
+                cpu,
+                strip_cost
+                + self.noisy(costs.socket_deliver_ns + costs.socket_wakeup_ns),
+                finish,
+                front=True,
+            )
+
+        self.charge(cpu, hook_cost + self.noisy(costs.udp_rcv_ns), deliver_to_socket, front=True)
+
+    def _tcp_receive(self, device: NetDevice, packet: Packet, cpu) -> None:
+        hook_cost = self.fire_function_hook(HOOK_TCP_V4_RCV, packet, cpu, device)
+        packet.log_point(self.name, "tcp_v4_rcv", self.engine.now, cpu.index)
+        self.charge(
+            cpu,
+            hook_cost + self.noisy(self.costs.tcp_v4_rcv_ns),
+            lambda: self.tcp.handle_segment(packet, cpu),
+            front=True,
+        )
+
+    def __repr__(self) -> str:
+        return f"<KernelNode {self.name} devices={list(self.devices)}>"

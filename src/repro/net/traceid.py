@@ -1,0 +1,117 @@
+"""Per-packet trace IDs carried across domain boundaries (§III-B).
+
+The paper modifies the kernel ("tens of lines") so every packet of a
+traced application carries a unique 32-bit random ID:
+
+* TCP -- a 4-byte value in the TCP options (written in
+  ``tcp_options_write``; we use an experimental option kind with two
+  leading NOPs for alignment, 8 option bytes total);
+* UDP -- 4 bytes appended to the payload in ``udp_send_skb`` via
+  ``__skb_put()`` and trimmed at the receiver with
+  ``pskb_trim_rcsum()`` before the copy to the application buffer, so
+  applications never see it.
+
+The ID lives in the *wire bytes*, which is what lets eBPF programs in
+any later protection domain (host, Dom0, another machine) read it back
+and lets the collector correlate records end-to-end.
+
+Embedding costs "tens of nanoseconds" (§III-B); the model charges
+:data:`EMBED_COST_NS` / :data:`STRIP_COST_NS`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional, TYPE_CHECKING
+
+from repro.net.packet import Packet, TCPOPT_TRACE_ID
+from repro.sim.rng import SeededRNG
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.stack import KernelNode
+
+EMBED_COST_NS = 38
+STRIP_COST_NS = 30
+
+# NOP, NOP, kind, len=6, 4 value bytes -> 8 bytes, 4-byte aligned.
+_TCP_OPTION_LEN = 8
+
+META_TRACE_ID = "trace_id"
+META_UDP_ID_EMBEDDED = "udp_trace_id_embedded"
+
+
+class TraceIDEngine:
+    """The per-node kernel patch that writes and trims trace IDs."""
+
+    def __init__(self, rng: SeededRNG):
+        self.rng = rng
+        self.ids_embedded = 0
+        self.ids_stripped = 0
+
+    # -- UDP ----------------------------------------------------------------
+
+    def embed_udp(self, packet: Packet) -> int:
+        """Append the 4-byte ID to the UDP payload (``__skb_put``)."""
+        if not isinstance(packet.payload, bytes):
+            return 0
+        trace_id = self.rng.random_u32()
+        packet.payload = packet.payload + struct.pack("!I", trace_id)
+        packet.metadata[META_TRACE_ID] = trace_id
+        packet.metadata[META_UDP_ID_EMBEDDED] = True
+        self.ids_embedded += 1
+        return EMBED_COST_NS
+
+    def strip_udp(self, packet: Packet) -> int:
+        """Trim the ID before app delivery (``pskb_trim_rcsum``)."""
+        if not packet.metadata.get(META_UDP_ID_EMBEDDED):
+            return 0
+        if isinstance(packet.payload, bytes) and len(packet.payload) >= 4:
+            packet.payload = packet.payload[:-4]
+        packet.metadata[META_UDP_ID_EMBEDDED] = False
+        self.ids_stripped += 1
+        return STRIP_COST_NS
+
+    # -- TCP --------------------------------------------------------------------
+
+    def tcp_option_bytes(self) -> tuple[bytes, int]:
+        """Build the option bytes for one segment; returns (bytes, id)."""
+        trace_id = self.rng.random_u32()
+        option = b"\x01\x01" + bytes([TCPOPT_TRACE_ID, 6]) + struct.pack("!I", trace_id)
+        assert len(option) == _TCP_OPTION_LEN
+        self.ids_embedded += 1
+        return option, trace_id
+
+    def embed_tcp(self, packet: Packet) -> int:
+        """Add the trace-ID option to a built TCP segment
+        (``tcp_options_write`` time)."""
+        tcp = packet.tcp
+        if tcp is None or len(tcp.options) + _TCP_OPTION_LEN > 40:
+            return 0
+        option, trace_id = self.tcp_option_bytes()
+        tcp.options = tcp.options + option
+        packet.metadata[META_TRACE_ID] = trace_id
+        return EMBED_COST_NS
+
+
+def enable_trace_ids(node: "KernelNode", rng: Optional[SeededRNG] = None) -> TraceIDEngine:
+    """Install the trace-ID kernel patch on a node (idempotent)."""
+    if node.traceid is None:
+        node.traceid = TraceIDEngine(rng or node.rng.fork("traceid"))
+    return node.traceid
+
+
+def extract_trace_id(packet: Packet) -> Optional[int]:
+    """Read the trace ID back out of a packet's *wire format* -- the
+    user-space analog of what compiled eBPF programs do in-kernel."""
+    inner = packet.innermost
+    tcp = inner.tcp
+    if tcp is not None:
+        value = tcp.find_option(TCPOPT_TRACE_ID)
+        if value is not None and len(value) == 4:
+            return struct.unpack("!I", value)[0]
+        return None
+    if inner.udp is not None and inner.metadata.get(META_UDP_ID_EMBEDDED):
+        payload = inner.payload
+        if isinstance(payload, bytes) and len(payload) >= 4:
+            return struct.unpack("!I", payload[-4:])[0]
+    return None

@@ -1,0 +1,30 @@
+"""Discrete-event simulation kernel used by every substrate in the repo.
+
+The engine keeps integer-nanosecond virtual time and a binary heap of
+events with deterministic tie-breaking, so any experiment driven from a
+fixed seed regenerates bit-identically.
+
+Public surface:
+
+* :class:`~repro.sim.engine.Engine` -- the event loop.
+* :class:`~repro.sim.engine.SimProcess` / ``Engine.process`` -- generator
+  based cooperative processes (``yield <delay_ns>`` or ``yield Signal``).
+* :class:`~repro.sim.engine.Signal` -- one-shot wakeup primitive.
+* :class:`~repro.sim.clock.NodeClock` -- a per-node monotonic clock with
+  configurable offset and drift (models CLOCK_MONOTONIC on distinct
+  machines whose clocks disagree).
+* :mod:`repro.sim.rng` -- deterministic random helpers.
+"""
+
+from repro.sim.clock import NodeClock
+from repro.sim.engine import Engine, Event, Signal, SimProcess
+from repro.sim.rng import SeededRNG
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Signal",
+    "SimProcess",
+    "NodeClock",
+    "SeededRNG",
+]

@@ -1,0 +1,73 @@
+"""Per-node clocks.
+
+Every simulated machine owns a :class:`NodeClock` that maps engine time
+(the "true" time) to the node's local ``CLOCK_MONOTONIC`` reading.  Nodes
+boot at different moments and their oscillators drift, so two machines
+reading their monotonic clocks at the same instant see different values.
+This is exactly the problem §III-B of the paper solves with Cristian's
+algorithm, and :mod:`repro.core.clocksync` estimates the skew the same
+way the paper does: by bouncing probe packets and taking the minimum of
+100 one-way samples.
+
+``monotonic_ns`` is the analog of ``bpf_ktime_get_ns()``: reading it
+costs nothing in simulated time (the paper notes the in-kernel read
+involves no user/kernel crossing).
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import Engine
+
+
+class NodeClock:
+    """Maps true engine time to a node-local monotonic clock.
+
+    local(t) = BASE + (t - boot_time) * (1 + drift_ppm * 1e-6) + offset_ns
+
+    ``offset_ns`` models the unknown boot epoch, ``drift_ppm`` the
+    oscillator error (tens of ppm is realistic hardware).  ``BASE_NS``
+    keeps readings positive for any reasonable negative offset --
+    CLOCK_MONOTONIC never reads negative on a real machine, and the
+    uniform shift cancels out of every skew/latency computation.
+    """
+
+    BASE_NS = 3_600_000_000_000  # one hour of prior uptime
+
+    __slots__ = ("engine", "offset_ns", "drift_ppm", "boot_time_ns")
+
+    def __init__(
+        self,
+        engine: Engine,
+        offset_ns: int = 0,
+        drift_ppm: float = 0.0,
+        boot_time_ns: int = 0,
+    ):
+        self.engine = engine
+        self.offset_ns = int(offset_ns)
+        self.drift_ppm = float(drift_ppm)
+        self.boot_time_ns = int(boot_time_ns)
+
+    def monotonic_ns(self) -> int:
+        """The node's CLOCK_MONOTONIC reading at the current engine time."""
+        return self.at(self.engine.now)
+
+    def at(self, true_time_ns: int) -> int:
+        """The local reading corresponding to an arbitrary true time."""
+        elapsed = true_time_ns - self.boot_time_ns
+        scaled = elapsed * (1.0 + self.drift_ppm * 1e-6)
+        return self.BASE_NS + int(round(scaled)) + self.offset_ns
+
+    def skew_versus(self, other: "NodeClock") -> int:
+        """True instantaneous offset ``self - other`` at the current time.
+
+        Used by tests to check Cristian-estimated skew against ground
+        truth; real systems obviously cannot call this.
+        """
+        now = self.engine.now
+        return self.at(now) - other.at(now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<NodeClock offset={self.offset_ns}ns drift={self.drift_ppm}ppm "
+            f"boot={self.boot_time_ns}ns>"
+        )

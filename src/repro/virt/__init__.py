@@ -1,0 +1,26 @@
+"""Virtualization substrates: hypervisors, vCPU scheduling, OVS, containers.
+
+* :mod:`repro.virt.virtio` -- KVM-style paravirtual NIC pairs (guest
+  frontend + ``vnetX`` host backend with vhost copy costs).
+* :mod:`repro.virt.xen` -- Xen-style split driver (netfront/netback)
+  and the credit2-style scheduler whose ``ratelimit_us`` knob is the
+  subject of Case Study II.
+* :mod:`repro.virt.ovs` -- Open vSwitch: per-ingress-port queues, a
+  serialized datapath, ingress policing and HTB shaping (Case Study I).
+* :mod:`repro.virt.container` / :mod:`repro.virt.overlay` -- Docker-like
+  containers on veth+bridge, and the multi-host VXLAN overlay network
+  with an etcd-style key/value control store (Case Study III).
+* :mod:`repro.virt.machine` -- topology builders (hosts, KVM/Xen VMs).
+"""
+
+from repro.virt.machine import PhysicalHost, VirtualMachine
+from repro.virt.ovs import OVSBridge
+from repro.virt.xen import CreditScheduler, VCPU
+
+__all__ = [
+    "PhysicalHost",
+    "VirtualMachine",
+    "OVSBridge",
+    "CreditScheduler",
+    "VCPU",
+]

@@ -1,0 +1,195 @@
+"""Topology builders: physical hosts, KVM VMs, Xen hosts and guests.
+
+These wrap the lower-level pieces (kernel nodes, virtio/vif pairs,
+schedulers) into the shapes the paper's evaluation uses: two PowerEdge
+servers, VMs pinned to cores under KVM, and Xen guests whose single
+vCPU shares a physical core with a CPU-hog VM.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Optional
+
+from repro.net.addressing import IPv4Address
+from repro.net.costs import CostModel, DEFAULT_COSTS
+from repro.net.stack import KernelNode
+from repro.sim.clock import NodeClock
+from repro.sim.cpu import GatedCPU
+from repro.sim.engine import Engine
+from repro.sim.rng import SeededRNG
+from repro.virt.virtio import create_virtio_pair
+from repro.virt.xen import CreditScheduler, VCPU, create_vif_pair
+
+_backend_counter = itertools.count(0)
+
+
+class VirtualMachine:
+    """A guest: its own kernel node plus hypervisor plumbing."""
+
+    def __init__(self, host: "PhysicalHost", name: str, node: KernelNode, kind: str):
+        self.host = host
+        self.name = name
+        self.node = node
+        self.kind = kind  # "kvm" or "xen"
+        self.nics: Dict[str, object] = {}
+        self.vcpus: List[VCPU] = []
+
+    def attach_virtio_nic(
+        self,
+        ip: IPv4Address,
+        frontend_name: str = "ens3",
+        backend_name: Optional[str] = None,
+        host_irq_cpu: int = 0,
+    ):
+        """Add a virtio NIC; returns (frontend, backend).  The backend
+        (``vnetX``) is left for the caller to enslave to a bridge/OVS."""
+        if backend_name is None:
+            backend_name = f"vnet{next(_backend_counter)}"
+        frontend, backend = create_virtio_pair(
+            self.node, frontend_name, self.host.node, backend_name, host_irq_cpu=host_irq_cpu
+        )
+        frontend.ip = ip
+        self.node.add_route(IPv4Address(ip.value & 0xFFFFFF00), 24, frontend, src_ip=ip)
+        self.nics[frontend_name] = (frontend, backend)
+        return frontend, backend
+
+    def attach_vif_nic(
+        self,
+        ip: IPv4Address,
+        frontend_name: str = "eth1",
+        backend_name: Optional[str] = None,
+        dom0_irq_cpu: int = 0,
+    ):
+        """Add a Xen split-driver NIC; returns (frontend/netfront, backend/netback)."""
+        if backend_name is None:
+            backend_name = f"vif{len(self.host.vms)}.0"
+        frontend, backend = create_vif_pair(
+            self.node, frontend_name, self.host.node, backend_name, dom0_irq_cpu=dom0_irq_cpu
+        )
+        frontend.ip = ip
+        self.node.add_route(IPv4Address(ip.value & 0xFFFFFF00), 24, frontend, src_ip=ip)
+        self.nics[frontend_name] = (frontend, backend)
+        return frontend, backend
+
+    def __repr__(self) -> str:
+        return f"<VirtualMachine {self.name} ({self.kind}) on {self.host.name}>"
+
+
+class PhysicalHost:
+    """A physical server: host kernel (Dom0 for Xen) + guests."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        name: str,
+        num_cpus: int = 20,
+        costs: Optional[CostModel] = None,
+        rng: Optional[SeededRNG] = None,
+        clock_offset_ns: int = 0,
+        clock_drift_ppm: float = 0.0,
+    ):
+        self.engine = engine
+        self.name = name
+        self.costs = costs or DEFAULT_COSTS
+        self.rng = rng or SeededRNG(0, f"host/{name}")
+        self.clock = NodeClock(engine, offset_ns=clock_offset_ns, drift_ppm=clock_drift_ppm)
+        self.node = KernelNode(
+            engine,
+            name,
+            num_cpus=num_cpus,
+            costs=self.costs,
+            rng=self.rng.fork("kernel"),
+            clock=self.clock,
+        )
+        self.vms: List[VirtualMachine] = []
+        self.schedulers: Dict[int, CreditScheduler] = {}  # pCPU index -> scheduler
+
+    # -- KVM ------------------------------------------------------------------
+
+    def create_kvm_vm(
+        self,
+        name: str,
+        num_vcpus: int = 4,
+        costs: Optional[CostModel] = None,
+        clock_offset_ns: Optional[int] = None,
+    ) -> VirtualMachine:
+        """A KVM guest with vCPUs pinned to dedicated cores (as the
+        paper pins them "to avoid the interference").
+
+        By default the guest reads the host's clock (kvmclock); pass
+        ``clock_offset_ns`` to give it an independent clock.
+        """
+        guest_clock = (
+            self.clock
+            if clock_offset_ns is None
+            else NodeClock(self.engine, offset_ns=clock_offset_ns)
+        )
+        guest = KernelNode(
+            self.engine,
+            f"{self.name}/{name}",
+            num_cpus=num_vcpus,
+            costs=costs or self.costs,
+            rng=self.rng.fork(f"vm/{name}"),
+            clock=guest_clock,
+        )
+        vm = VirtualMachine(self, name, guest, kind="kvm")
+        self.vms.append(vm)
+        return vm
+
+    # -- Xen ----------------------------------------------------------------------
+
+    def xen_scheduler(self, pcpu_index: int, ratelimit_us: int = 1000) -> CreditScheduler:
+        """The credit2 runqueue for one physical CPU (created on demand)."""
+        if pcpu_index not in self.schedulers:
+            self.schedulers[pcpu_index] = CreditScheduler(
+                self.engine,
+                ratelimit_us=ratelimit_us,
+                name=f"{self.name}/sched{pcpu_index}",
+            )
+        return self.schedulers[pcpu_index]
+
+    def create_xen_vm(
+        self,
+        name: str,
+        pcpu_index: int = 0,
+        num_vcpus: int = 1,
+        cpu_hog: bool = False,
+        ratelimit_us: int = 1000,
+        costs: Optional[CostModel] = None,
+        clock_offset_ns: Optional[int] = None,
+    ) -> VirtualMachine:
+        """A Xen guest whose vCPUs are gated by the pCPU's scheduler.
+
+        By default the guest reads the host's clock (the Xen/kvmclock
+        paravirtual clocksource keeps guests on the hypervisor's time);
+        pass ``clock_offset_ns`` to give it an independent clock.
+        """
+        scheduler = self.xen_scheduler(pcpu_index, ratelimit_us=ratelimit_us)
+        gated_cpus = [
+            GatedCPU(self.engine, name=f"{name}/vcpu{i}", index=i, start_paused=True)
+            for i in range(num_vcpus)
+        ]
+        guest_clock = (
+            self.clock
+            if clock_offset_ns is None
+            else NodeClock(self.engine, offset_ns=clock_offset_ns)
+        )
+        guest = KernelNode(
+            self.engine,
+            f"{self.name}/{name}",
+            costs=costs or self.costs,
+            rng=self.rng.fork(f"vm/{name}"),
+            clock=guest_clock,
+            cpus=gated_cpus,
+        )
+        vm = VirtualMachine(self, name, guest, kind="xen")
+        for i, cpu in enumerate(gated_cpus):
+            vcpu = VCPU(f"{name}/vcpu{i}", cpu, always_busy=cpu_hog)
+            vm.vcpus.append(vcpu)
+            scheduler.add_vcpu(vcpu)
+        self.vms.append(vm)
+        return vm
+
+    def __repr__(self) -> str:
+        return f"<PhysicalHost {self.name} vms={[vm.name for vm in self.vms]}>"

@@ -1,0 +1,130 @@
+"""Multi-host container overlay network (Docker overlay / flannel style).
+
+Control plane: an etcd-like key/value store publishes, per container,
+its overlay IP, MAC, and the underlay address of the VTEP (its VM).
+Every member node programs its overlay bridge and VXLAN FDBs from the
+store -- the role etcd 2.2.5 plays in the paper's Case Study III setup.
+
+Data plane: per member VM, an overlay bridge whose ports are container
+veths plus one VXLAN device; cross-host traffic is VXLAN-encapsulated
+(port 4789) over the VMs' regular NICs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.net.addressing import IPv4Address, MACAddress
+from repro.net.bridge import BridgeDevice
+from repro.net.vxlan import VXLANDevice
+from repro.virt.container import Container
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.stack import KernelNode
+
+
+class EtcdStore:
+    """A (very) small key/value store with prefix listing and watches."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, str] = {}
+        self._watchers: List = []
+
+    def put(self, key: str, value: str) -> None:
+        self._data[key] = value
+        for prefix, callback in self._watchers:
+            if key.startswith(prefix):
+                callback(key, value)
+
+    def get(self, key: str) -> Optional[str]:
+        return self._data.get(key)
+
+    def list_prefix(self, prefix: str) -> Dict[str, str]:
+        return {k: v for k, v in self._data.items() if k.startswith(prefix)}
+
+    def watch_prefix(self, prefix: str, callback) -> None:
+        self._watchers.append((prefix, callback))
+
+
+class OverlayMember:
+    """One VM participating in the overlay: bridge + VXLAN VTEP."""
+
+    def __init__(
+        self,
+        network: "OverlayNetwork",
+        node: "KernelNode",
+        underlay_ip: IPv4Address,
+    ):
+        self.network = network
+        self.node = node
+        self.underlay_ip = underlay_ip
+        self.bridge = BridgeDevice(node, f"br-{network.name}")
+        self.vxlan = VXLANDevice(
+            node,
+            f"vxlan-{network.name}",
+            vni=network.vni,
+            local_vtep=underlay_ip,
+        )
+        self.bridge.add_port(self.vxlan)
+        self.containers: List[Container] = []
+
+
+class OverlayNetwork:
+    """The overlay itself; create members per VM, then containers."""
+
+    def __init__(
+        self,
+        name: str,
+        vni: int,
+        subnet: IPv4Address,
+        prefix_len: int = 16,
+        etcd: Optional[EtcdStore] = None,
+    ):
+        self.name = name
+        self.vni = vni
+        self.subnet = subnet
+        self.prefix_len = prefix_len
+        self.etcd = etcd or EtcdStore()
+        self.members: List[OverlayMember] = []
+        self.etcd.watch_prefix(f"/overlay/{name}/containers/", self._on_container_added)
+
+    def join(self, node: "KernelNode", underlay_ip: IPv4Address) -> OverlayMember:
+        """Attach a VM's kernel to the overlay."""
+        member = OverlayMember(self, node, underlay_ip)
+        self.members.append(member)
+        # Sync existing containers onto the new member.
+        for key, value in self.etcd.list_prefix(f"/overlay/{self.name}/containers/").items():
+            self._program_member(member, value)
+        return member
+
+    def create_container(
+        self, member: OverlayMember, name: str, ip: IPv4Address
+    ) -> Container:
+        """Create a container on ``member`` and publish it to etcd."""
+        container = Container(member.node, name, ip, member.bridge)
+        member.containers.append(container)
+        record = f"{ip}|{container.mac}|{member.underlay_ip}"
+        self.etcd.put(f"/overlay/{self.name}/containers/{name}", record)
+        return container
+
+    # -- control-plane sync -----------------------------------------------------
+
+    def _on_container_added(self, key: str, value: str) -> None:
+        for member in self.members:
+            self._program_member(member, value)
+
+    def _program_member(self, member: OverlayMember, record: str) -> None:
+        ip_text, mac_text, vtep_text = record.split("|")
+        ip = IPv4Address(ip_text)
+        mac = MACAddress(mac_text)
+        vtep = IPv4Address(vtep_text)
+        member.node.add_neighbor(ip, mac)  # overlay "ARP" entry
+        if vtep == member.underlay_ip:
+            return  # local container: the bridge learns its port directly
+        # Remote container: bridge forwards its MAC to the VXLAN port,
+        # and the VXLAN FDB maps the MAC to the remote VTEP.
+        member.bridge.fdb[mac.value] = member.vxlan
+        member.vxlan.add_vtep(mac, vtep)
+
+    def __repr__(self) -> str:
+        return f"<OverlayNetwork {self.name} vni={self.vni} members={len(self.members)}>"

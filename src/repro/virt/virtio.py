@@ -1,0 +1,93 @@
+"""KVM/virtio paravirtual networking: guest frontend + host backend.
+
+The host-side backend (``vnet0``, ``vnet1`` ... as in the paper's OVS
+experiments) is a normal host device that can be enslaved to a bridge or
+an OVS instance.  Costs follow the virtio/vhost reality: a kick +
+descriptor work per skb, plus a per-byte vhost copy -- the per-byte term
+is why 64 KB TSO super-segments are so much cheaper per byte than
+MTU-sized overlay packets (Case Study III).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+from repro.net.device import NetDevice
+from repro.net.packet import Packet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.stack import KernelNode
+
+# vhost copy bandwidth term (ns per byte): ~1.6 GB/s effective per queue.
+VHOST_COPY_NS_PER_BYTE = 0.6
+
+
+class VirtioFrontend(NetDevice):
+    """The guest's NIC (``ens3`` / ``eth0`` in the paper's VMs)."""
+
+    kind = "virtio-frontend"
+
+    def __init__(self, node: "KernelNode", name: str, **kwargs):
+        super().__init__(node, name, napi_quota=64, **kwargs)
+        self.backend: Optional["VirtioBackend"] = None
+
+    def _tx_cost_ns(self, packet: Packet) -> int:
+        # Guest side: descriptor setup + kick (the copy happens in vhost).
+        return self.node.costs.virtio_tx_ns
+
+    def _egress(self, packet: Packet, cpu) -> None:
+        if self.backend is None:
+            self.stats.tx_dropped += 1
+            return
+        self.backend.receive(packet)
+
+    def rx_job_cost_ns(self, packet: Packet) -> int:
+        # Guest receive: IP input plus copying the skb out of the ring.
+        return self.node.costs.ip_rcv_ns + int(
+            packet.total_length * VHOST_COPY_NS_PER_BYTE * 0.5
+        )
+
+
+class VirtioBackend(NetDevice):
+    """The host-side device (``vnetX``) backing one guest frontend."""
+
+    kind = "virtio-backend"
+
+    def __init__(self, node: "KernelNode", name: str, **kwargs):
+        super().__init__(node, name, napi_quota=64, **kwargs)
+        self.frontend: Optional[VirtioFrontend] = None
+
+    def _tx_cost_ns(self, packet: Packet) -> int:
+        # Host -> guest: vhost copies the bytes and injects an interrupt.
+        return self.node.costs.virtio_rx_ns + int(
+            packet.total_length * VHOST_COPY_NS_PER_BYTE
+        )
+
+    def _egress(self, packet: Packet, cpu) -> None:
+        if self.frontend is None:
+            self.stats.tx_dropped += 1
+            return
+        self.frontend.receive(packet)
+
+    def rx_job_cost_ns(self, packet: Packet) -> int:
+        # Guest -> host: the vhost worker copies the bytes in.
+        return self.node.costs.ip_rcv_ns + int(
+            packet.total_length * VHOST_COPY_NS_PER_BYTE
+        )
+
+
+def create_virtio_pair(
+    guest: "KernelNode",
+    frontend_name: str,
+    host: "KernelNode",
+    backend_name: str,
+    guest_irq_cpu: int = 0,
+    host_irq_cpu: int = 0,
+    **kwargs,
+) -> tuple:
+    """Wire a guest frontend to its host backend; returns (frontend, backend)."""
+    frontend = VirtioFrontend(guest, frontend_name, irq_cpu=guest_irq_cpu, **kwargs)
+    backend = VirtioBackend(host, backend_name, irq_cpu=host_irq_cpu, **kwargs)
+    frontend.backend = backend
+    backend.frontend = frontend
+    return frontend, backend

@@ -1,0 +1,36 @@
+"""A CPU-bound spinner.
+
+On Xen guests the ``cpu_hog=True`` VM flag (an always-busy vCPU) is the
+usual way to model Case Study II's interfering VM; this class covers
+non-gated CPUs (KVM guests, hosts) by keeping a CPU's queue perpetually
+fed with fixed-size compute slices.
+"""
+
+from __future__ import annotations
+
+from repro.sim.cpu import CPU
+
+
+class CPUHog:
+    """Keeps one CPU 100% busy with back-to-back slices."""
+
+    def __init__(self, cpu: CPU, slice_ns: int = 100_000):
+        self.cpu = cpu
+        self.slice_ns = slice_ns
+        self._running = False
+        self.slices_run = 0
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._feed()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _feed(self) -> None:
+        if not self._running:
+            return
+        self.slices_run += 1
+        self.cpu.submit(self.slice_ns, self._feed, tag="cpu-hog")

@@ -1,0 +1,135 @@
+"""Sockperf: the paper's UDP latency probe [12].
+
+The server echoes datagrams; the client either ping-pongs (send the
+next request when the reply lands) or runs *under load* (fixed messages
+per second regardless of replies -- what the paper uses to observe tail
+latency under interference).  Like the real tool, reported "latency" is
+half the measured round trip; the default message payload is 56 bytes
+(§IV-C: "the default Sockperf packet size was just 56 bytes").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.net.addressing import IPv4Address
+from repro.net.stack import KernelNode, UDPSocket
+from repro.workloads.stats import LatencySummary, jitter_range, summarize_latencies
+
+DEFAULT_PORT = 11111
+DEFAULT_MSG_BYTES = 56
+
+
+class SockperfServer:
+    """Echo server."""
+
+    def __init__(
+        self,
+        node: KernelNode,
+        ip: IPv4Address,
+        port: int = DEFAULT_PORT,
+        cpu_index: Optional[int] = None,
+    ):
+        self.node = node
+        self.socket: UDPSocket = node.bind_udp(ip, port, cpu_index=cpu_index)
+        self.socket.on_receive = self._echo
+        self.requests = 0
+
+    def _echo(self, payload: bytes, src_ip: IPv4Address, src_port: int, _packet) -> None:
+        self.requests += 1
+        self.socket.sendto(src_ip, src_port, payload, app="sockperf-pong")
+
+
+class SockperfClient:
+    """Latency measurement client."""
+
+    def __init__(
+        self,
+        node: KernelNode,
+        ip: IPv4Address,
+        server_ip: IPv4Address,
+        server_port: int = DEFAULT_PORT,
+        local_port: int = 22222,
+        msg_bytes: int = DEFAULT_MSG_BYTES,
+        mps: int = 1000,
+        mode: str = "under-load",
+        cpu_index: Optional[int] = None,
+    ):
+        if mode not in ("under-load", "ping-pong"):
+            raise ValueError(f"unknown sockperf mode {mode!r}")
+        self.node = node
+        self.server_ip = server_ip
+        self.server_port = server_port
+        self.msg_bytes = max(8, msg_bytes)
+        self.mps = mps
+        self.mode = mode
+        self.socket = node.bind_udp(ip, local_port, cpu_index=cpu_index)
+        self.socket.on_receive = self._on_reply
+        self._send_times: Dict[int, int] = {}
+        self._seq = 0
+        self.rtts_ns: List[int] = []
+        self.reply_seqs: List[int] = []
+        self.sent = 0
+        self.received = 0
+        self._running = False
+        self._deadline_ns = 0
+
+    # -- driving ------------------------------------------------------------
+
+    def start(self, duration_ns: int, start_delay_ns: int = 0) -> None:
+        engine = self.node.engine
+        self._running = True
+        self._deadline_ns = engine.now + start_delay_ns + duration_ns
+        engine.schedule(start_delay_ns, self._tick)
+
+    def _tick(self) -> None:
+        engine = self.node.engine
+        if not self._running or engine.now >= self._deadline_ns:
+            self._running = False
+            return
+        self._send_one()
+        if self.mode == "under-load":
+            engine.schedule(int(1e9 / self.mps), self._tick)
+        # ping-pong mode sends the next request from _on_reply
+
+    def _send_one(self) -> None:
+        seq = self._seq
+        self._seq += 1
+        self._send_times[seq] = self.node.engine.now
+        payload = seq.to_bytes(4, "big") + bytes(self.msg_bytes - 4)
+        self.sent += 1
+        self.socket.sendto(
+            self.server_ip, self.server_port, payload, app="sockperf", app_seq=seq
+        )
+
+    def _on_reply(self, payload: bytes, _src_ip, _src_port, _packet) -> None:
+        now = self.node.engine.now
+        seq = int.from_bytes(payload[:4], "big")
+        sent_at = self._send_times.pop(seq, None)
+        if sent_at is None:
+            return
+        self.received += 1
+        self.rtts_ns.append(now - sent_at)
+        self.reply_seqs.append(seq)
+        if self.mode == "ping-pong" and self._running:
+            if now < self._deadline_ns:
+                self._send_one()
+            else:
+                self._running = False
+
+    # -- results ---------------------------------------------------------------
+
+    @property
+    def latencies_ns(self) -> List[int]:
+        """One-way latency: half the RTT, as sockperf reports."""
+        return [rtt // 2 for rtt in self.rtts_ns]
+
+    def summary(self) -> LatencySummary:
+        return summarize_latencies(self.latencies_ns)
+
+    def jitter_range_ns(self) -> tuple:
+        return jitter_range(self.latencies_ns)
+
+    @property
+    def loss_count(self) -> int:
+        return self.sent - self.received

@@ -1,0 +1,77 @@
+"""Latency and throughput summaries shared by workloads and benches."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, List, NamedTuple, Sequence
+
+
+class LatencySummary(NamedTuple):
+    """Summary of a latency sample set (nanoseconds)."""
+
+    count: int
+    avg_ns: float
+    min_ns: int
+    p50_ns: int
+    p90_ns: int
+    p99_ns: int
+    p999_ns: int
+    max_ns: int
+
+    def scaled(self, divisor: float = 1e3) -> dict:
+        """As microseconds (or any unit) for printing."""
+        return {
+            "count": self.count,
+            "avg": self.avg_ns / divisor,
+            "min": self.min_ns / divisor,
+            "p50": self.p50_ns / divisor,
+            "p90": self.p90_ns / divisor,
+            "p99": self.p99_ns / divisor,
+            "p99.9": self.p999_ns / divisor,
+            "max": self.max_ns / divisor,
+        }
+
+
+def percentile(sorted_values: Sequence[int], fraction: float) -> int:
+    """Nearest-rank percentile on a pre-sorted sequence."""
+    if not sorted_values:
+        raise ValueError("empty sample set")
+    rank = max(0, min(len(sorted_values) - 1, math.ceil(fraction * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+def summarize_latencies(samples: Iterable[int]) -> LatencySummary:
+    values: List[int] = sorted(samples)
+    if not values:
+        raise ValueError("no latency samples recorded")
+    return LatencySummary(
+        count=len(values),
+        avg_ns=sum(values) / len(values),
+        min_ns=values[0],
+        p50_ns=percentile(values, 0.50),
+        p90_ns=percentile(values, 0.90),
+        p99_ns=percentile(values, 0.99),
+        p999_ns=percentile(values, 0.999),
+        max_ns=values[-1],
+    )
+
+
+def jitter_series(latencies: Sequence[int]) -> List[int]:
+    """Per-packet jitter as defined in §III-D: delta of consecutive
+    latencies."""
+    return [latencies[i + 1] - latencies[i] for i in range(len(latencies) - 1)]
+
+
+def jitter_range(latencies: Sequence[int]) -> tuple:
+    """(min, max) jitter, the form the paper quotes for Fig. 11."""
+    series = jitter_series(latencies)
+    if not series:
+        return (0, 0)
+    return (min(series), max(series))
+
+
+def throughput_bps(total_bytes: int, duration_ns: int) -> float:
+    """Bits per second over a window."""
+    if duration_ns <= 0:
+        return 0.0
+    return total_bytes * 8 * 1e9 / duration_ns

@@ -1,0 +1,41 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.net.addressing import IPv4Address, MACAddress
+from repro.net.stack import KernelNode
+from repro.sim.engine import Engine
+from repro.sim.rng import SeededRNG
+
+
+@pytest.fixture
+def engine():
+    return Engine()
+
+
+@pytest.fixture
+def rng():
+    return SeededRNG(1234, "tests")
+
+
+@pytest.fixture
+def node(engine):
+    """A bare kernel node with 4 CPUs."""
+    return KernelNode(engine, "testnode", num_cpus=4)
+
+
+@pytest.fixture
+def two_nodes(engine):
+    """Two kernel nodes joined by a veth pair with IPs and routes."""
+    from repro.net.device import VethDevice
+
+    node_a = KernelNode(engine, "alpha", num_cpus=2)
+    node_b = KernelNode(engine, "beta", num_cpus=2)
+    veth_a, veth_b = VethDevice.create_pair(node_a, "veth0", node_b, "veth0")
+    ip_a, ip_b = IPv4Address("10.1.0.1"), IPv4Address("10.1.0.2")
+    veth_a.ip, veth_b.ip = ip_a, ip_b
+    node_a.add_route(IPv4Address("10.1.0.0"), 24, veth_a, src_ip=ip_a)
+    node_b.add_route(IPv4Address("10.1.0.0"), 24, veth_b, src_ip=ip_b)
+    node_a.add_neighbor(ip_b, veth_b.mac)
+    node_b.add_neighbor(ip_a, veth_a.mac)
+    return node_a, node_b, ip_a, ip_b

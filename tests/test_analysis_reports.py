@@ -1,0 +1,47 @@
+"""Report formatting."""
+
+from repro.analysis.reports import (
+    comparison_table,
+    decomposition_table,
+    format_bps,
+    format_ns,
+    latency_table,
+)
+from repro.core.metrics import SegmentLatency
+from repro.workloads.stats import summarize_latencies
+
+
+class TestFormatters:
+    def test_format_ns_scales(self):
+        assert format_ns(500) == "500 ns"
+        assert format_ns(2_500) == "2.50 us"
+        assert format_ns(3_000_000) == "3.00 ms"
+
+    def test_format_bps_scales(self):
+        assert format_bps(500) == "500 bps"
+        assert format_bps(2_000) == "2.00 Kbps"
+        assert format_bps(3_000_000) == "3.00 Mbps"
+        assert format_bps(4_500_000_000) == "4.50 Gbps"
+
+
+class TestTables:
+    def test_latency_table_contains_rows(self):
+        table = latency_table({"a": summarize_latencies([1000, 2000, 3000])})
+        assert "a" in table and "2.00 us" in table
+        assert table.count("\n") >= 2  # header + separator + row
+
+    def test_decomposition_table_shares_sum(self):
+        segments = [
+            SegmentLatency("x", "y", [100, 100]),
+            SegmentLatency("y", "z", [300, 300]),
+        ]
+        table = decomposition_table(segments)
+        assert "x -> y" in table and "25.0%" in table
+        assert "75.0%" in table and "TOTAL" in table
+
+    def test_comparison_table_factors(self):
+        base = summarize_latencies([100, 100])
+        other = summarize_latencies([500, 500])
+        table = comparison_table("base", base, {"loaded": other})
+        assert "5.0x" in table
+        assert "base" in table and "loaded" in table

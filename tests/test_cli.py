@@ -1,0 +1,44 @@
+"""The figure-regeneration CLI."""
+
+import pytest
+
+from repro.cli import FIGURES, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in FIGURES:
+            assert name in out
+
+    def test_run_requires_figure(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_all_figures_have_runners(self):
+        parser = build_parser()
+        for name in FIGURES:
+            args = parser.parse_args(["run", name])
+            assert args.figure == name
+
+    def test_duration_flag_parsed(self):
+        args = build_parser().parse_args(["run", "fig7a", "--duration-ms", "123"])
+        assert args.duration_ms == 123
+
+
+class TestExecution:
+    def test_run_fig7a_end_to_end(self, capsys):
+        assert main(["run", "fig7a", "--duration-ms", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline avg" in out
+        assert "paper <1%" in out
+
+    def test_run_fig8b_end_to_end(self, capsys):
+        assert main(["run", "fig8b", "--duration-ms", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "Case I" in out and "Case III" in out

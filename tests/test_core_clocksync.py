@@ -1,0 +1,64 @@
+"""Cristian's algorithm: estimation accuracy across skews and load."""
+
+import pytest
+
+from repro.core.clocksync import ClockSynchronizer
+from repro.experiments.clocksync_case import run_clock_sync
+from repro.net.addressing import IPv4Address
+
+
+class TestClockSyncUnit:
+    def _run(self, engine, two_nodes, offset_ns, drift_ppm=0.0, samples=20):
+        node_a, node_b, ip_a, ip_b = two_nodes
+        node_b.clock.offset_ns = offset_ns
+        node_b.clock.drift_ppm = drift_ppm
+        sync = ClockSynchronizer(
+            node_a, ip_a, "dev:veth0", node_b, ip_b, "dev:veth0", samples=samples
+        )
+        sync.start()
+        engine.run(until=2_000_000_000)
+        assert sync.result is not None
+        return sync.result, node_a, node_b
+
+    def test_zero_skew_estimated_near_zero(self, engine, two_nodes):
+        result, *_ = self._run(engine, two_nodes, offset_ns=0)
+        assert abs(result.skew_ns) < 5_000
+
+    def test_positive_offset_recovered(self, engine, two_nodes):
+        result, node_a, node_b = self._run(engine, two_nodes, offset_ns=2_000_000)
+        true_skew = node_a.clock.monotonic_ns() - node_b.clock.monotonic_ns()
+        assert abs(result.skew_ns - true_skew) < 5_000
+
+    def test_negative_offset_recovered(self, engine, two_nodes):
+        result, node_a, node_b = self._run(engine, two_nodes, offset_ns=-3_000_000)
+        true_skew = node_a.clock.monotonic_ns() - node_b.clock.monotonic_ns()
+        assert abs(result.skew_ns - true_skew) < 5_000
+
+    def test_sample_count_respected(self, engine, two_nodes):
+        result, *_ = self._run(engine, two_nodes, offset_ns=0, samples=30)
+        assert result.samples == 30
+
+    def test_probes_detached_after_completion(self, engine, two_nodes):
+        node_a, node_b, ip_a, ip_b = two_nodes
+        self._run(engine, two_nodes, offset_ns=0)
+        assert not node_a.hooks.has_attachments("dev:veth0")
+        assert not node_b.hooks.has_attachments("dev:veth0")
+
+    def test_one_way_estimate_positive(self, engine, two_nodes):
+        result, *_ = self._run(engine, two_nodes, offset_ns=0)
+        assert result.one_way_ns > 0
+        assert result.rtt_min_ns > result.one_way_ns
+
+
+@pytest.mark.slow
+class TestClockSyncScenario:
+    def test_full_topology_accuracy_idle(self):
+        result = run_clock_sync(offset_ns=1_500_000, drift_ppm=20.0,
+                                background_load=False)
+        assert result.error_ns < 10_000
+
+    def test_accuracy_survives_background_load(self):
+        result = run_clock_sync(offset_ns=1_500_000, drift_ppm=20.0,
+                                background_load=True)
+        # min-of-100 filtering keeps the estimate tight under load
+        assert result.error_ns < 20_000

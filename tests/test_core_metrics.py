@@ -1,0 +1,131 @@
+"""Offline metric computation on synthetic trace rows."""
+
+import pytest
+
+from repro.core.metrics import (
+    decompose_latency,
+    event_rate,
+    jitter_of,
+    latency_between,
+    latency_pairs,
+    packet_loss,
+    per_cpu_distribution,
+    throughput_at,
+)
+from repro.core.records import TraceRecord
+from repro.core.tracedb import TraceDB
+
+
+def _fill(db, label, rows, node="n"):
+    for trace_id, ts, length, cpu in rows:
+        db.insert(node, label, TraceRecord(trace_id, 1, ts, length, cpu))
+
+
+class TestThroughput:
+    def test_formula_subtracts_id_bytes(self):
+        db = TraceDB()
+        # 3 packets of 104 bytes over 2 us -> sum(S_i - 4) * 8 / window
+        _fill(db, "a", [(1, 0, 104, 0), (2, 1_000, 104, 0), (3, 2_000, 104, 0)])
+        result = throughput_at(db, "a")
+        assert result.packets == 3
+        assert result.payload_bytes == 300
+        assert result.bits_per_second == pytest.approx(300 * 8 * 1e9 / 2_000)
+
+    def test_without_id_subtraction(self):
+        db = TraceDB()
+        _fill(db, "a", [(1, 0, 100, 0), (2, 1_000, 100, 0)])
+        result = throughput_at(db, "a", subtract_id_bytes=False)
+        assert result.payload_bytes == 200
+
+    def test_single_record_no_throughput(self):
+        db = TraceDB()
+        _fill(db, "a", [(1, 0, 100, 0)])
+        assert throughput_at(db, "a").bits_per_second == 0.0
+
+    def test_windowed(self):
+        db = TraceDB()
+        _fill(db, "a", [(1, 0, 104, 0), (2, 1_000, 104, 0), (3, 100_000, 104, 0)])
+        result = throughput_at(db, "a", end_ns=2_000)
+        assert result.packets == 2
+
+
+class TestLatency:
+    def test_matched_by_trace_id(self):
+        db = TraceDB()
+        _fill(db, "a", [(1, 100, 64, 0), (2, 200, 64, 0)])
+        _fill(db, "b", [(2, 260, 64, 0), (1, 150, 64, 0)])
+        assert sorted(latency_between(db, "a", "b")) == [50, 60]
+
+    def test_unmatched_ids_skipped(self):
+        db = TraceDB()
+        _fill(db, "a", [(1, 100, 64, 0), (3, 300, 64, 0)])
+        _fill(db, "b", [(1, 140, 64, 0)])
+        assert latency_between(db, "a", "b") == [40]
+
+    def test_cross_node_skew_applied(self):
+        db = TraceDB()
+        db.set_clock_skew("remote", -1_000)
+        _fill(db, "a", [(1, 100, 64, 0)], node="master")
+        _fill(db, "b", [(1, 1_160, 64, 0)], node="remote")
+        assert latency_between(db, "a", "b") == [60]
+
+    def test_pairs_sorted_by_start(self):
+        db = TraceDB()
+        _fill(db, "a", [(2, 500, 64, 0), (1, 100, 64, 0)])
+        _fill(db, "b", [(1, 150, 64, 0), (2, 590, 64, 0)])
+        assert latency_pairs(db, "a", "b") == [(100, 50), (500, 90)]
+
+
+class TestDecomposition:
+    def test_segments_sum_to_end_to_end(self):
+        db = TraceDB()
+        _fill(db, "a", [(1, 0, 64, 0)])
+        _fill(db, "b", [(1, 30, 64, 0)])
+        _fill(db, "c", [(1, 100, 64, 0)])
+        segments = decompose_latency(db, ["a", "b", "c"])
+        assert [s.latencies_ns for s in segments] == [[30], [70]]
+
+    def test_incomplete_traces_excluded(self):
+        db = TraceDB()
+        _fill(db, "a", [(1, 0, 64, 0), (2, 10, 64, 0)])
+        _fill(db, "b", [(1, 30, 64, 0)])  # trace 2 missed point b
+        _fill(db, "c", [(1, 90, 64, 0), (2, 95, 64, 0)])
+        segments = decompose_latency(db, ["a", "b", "c"])
+        assert all(len(s.latencies_ns) == 1 for s in segments)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            decompose_latency(TraceDB(), ["only"])
+
+
+class TestOtherMetrics:
+    def test_jitter_definition(self):
+        assert jitter_of([100, 150, 120]) == [50, -30]
+        assert jitter_of([5]) == []
+
+    def test_packet_loss(self):
+        db = TraceDB()
+        _fill(db, "tx", [(i, i * 10, 64, 0) for i in range(1, 11)])
+        _fill(db, "rx", [(i, i * 10 + 5, 64, 0) for i in range(1, 8)])
+        loss = packet_loss(db, "tx", "rx")
+        assert (loss.sent, loss.received, loss.lost) == (10, 7, 3)
+        assert loss.rate == pytest.approx(0.3)
+
+    def test_loss_never_negative(self):
+        db = TraceDB()
+        _fill(db, "tx", [(1, 0, 64, 0)])
+        _fill(db, "rx", [(1, 5, 64, 0), (2, 6, 64, 0)])
+        assert packet_loss(db, "tx", "rx").lost == 0
+
+    def test_cpu_distribution(self):
+        db = TraceDB()
+        _fill(db, "a", [(1, 0, 64, 0), (2, 1, 64, 0), (3, 2, 64, 1), (4, 3, 64, 0)])
+        dist = per_cpu_distribution(db, "a")
+        assert dist == {0: 0.75, 1: 0.25}
+        assert per_cpu_distribution(db, "empty") == {}
+
+    def test_event_rate(self):
+        db = TraceDB()
+        _fill(db, "a", [(i, i * 1_000_000, 64, 0) for i in range(11)])  # 1 per ms
+        assert event_rate(db, "a") == pytest.approx(1000.0)
+        assert event_rate(db, "none") == 0.0

@@ -1,0 +1,105 @@
+"""Assembler: encoding, labels, jump resolution."""
+
+import pytest
+
+from repro.ebpf import isa
+from repro.ebpf.assembler import Assembler, AssemblerError
+from repro.ebpf.isa import R0, R1, R2, disassemble
+
+
+class TestEncoding:
+    def test_mov_imm_encoding(self):
+        asm = Assembler()
+        asm.mov_imm(R0, 42)
+        (insn,) = asm.assemble()
+        assert insn.insn_class == isa.BPF_ALU64
+        assert insn.alu_op == isa.BPF_MOV
+        assert insn.uses_imm and insn.imm == 42
+
+    def test_mov_reg_uses_x_source(self):
+        asm = Assembler()
+        asm.mov_reg(R0, R1)
+        (insn,) = asm.assemble()
+        assert not insn.uses_imm and insn.src == R1
+
+    def test_ldx_sizes(self):
+        asm = Assembler()
+        asm.ldx_b(R0, R1)
+        asm.ldx_h(R0, R1)
+        asm.ldx_w(R0, R1)
+        asm.ldx_dw(R0, R1)
+        sizes = [insn.size_bytes for insn in asm.assemble()]
+        assert sizes == [1, 2, 4, 8]
+
+    def test_bad_access_size_rejected(self):
+        asm = Assembler()
+        with pytest.raises(AssemblerError):
+            asm.ldx(3, R0, R1)
+
+    def test_ld_map_fd_two_slots(self):
+        asm = Assembler()
+        asm.ld_map_fd(R1, 7)
+        insns = asm.assemble()
+        assert len(insns) == 2
+        assert insns[0].src == isa.BPF_PSEUDO_MAP_FD and insns[0].imm == 7
+        assert insns[1].opcode == 0
+
+    def test_ld_imm64_splits_value(self):
+        asm = Assembler()
+        asm.ld_imm64(R2, 0x1122334455667788)
+        insns = asm.assemble()
+        assert insns[0].imm == 0x55667788
+        assert insns[1].imm == 0x11223344
+
+
+class TestLabels:
+    def test_forward_jump_resolved(self):
+        asm = Assembler()
+        asm.jeq_imm(R1, 0, "done")  # idx 0
+        asm.mov_imm(R0, 1)  # idx 1
+        asm.label("done")
+        asm.exit_()  # idx 2
+        insns = asm.assemble()
+        assert insns[0].offset == 1  # 0 + 1 + 1 == 2
+
+    def test_duplicate_label_rejected(self):
+        asm = Assembler()
+        asm.label("a")
+        with pytest.raises(AssemblerError):
+            asm.label("a")
+
+    def test_unknown_label_rejected(self):
+        asm = Assembler()
+        asm.ja("nowhere")
+        with pytest.raises(AssemblerError):
+            asm.assemble()
+
+    def test_backward_jump_rejected_at_assembly(self):
+        asm = Assembler()
+        asm.label("loop")
+        asm.mov_imm(R0, 0)
+        asm.ja("loop")
+        with pytest.raises(AssemblerError):
+            asm.assemble()
+
+    def test_numeric_offsets_pass_through(self):
+        asm = Assembler()
+        asm.ja(3)
+        (insn,) = asm.assemble()
+        assert insn.offset == 3
+
+
+class TestDisassembler:
+    def test_disassemble_covers_common_forms(self):
+        asm = Assembler()
+        asm.mov_imm(R0, 5)
+        asm.ldx_w(R2, R1, 16)
+        asm.jne_imm(R2, 7, "out")
+        asm.call(5)
+        asm.label("out")
+        asm.exit_()
+        text = disassemble(asm.assemble())
+        assert "mov r0, 5" in text
+        assert "ldx4 r2, [r1+16]" in text
+        assert "call helper#5" in text
+        assert "exit" in text

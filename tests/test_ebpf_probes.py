@@ -1,0 +1,181 @@
+"""Hook registry, probe specs, context building."""
+
+import pytest
+
+from repro.ebpf import context as ctxmod
+from repro.ebpf.assembler import Assembler
+from repro.ebpf.context import build_empty_context, build_skb_context, context_field
+from repro.ebpf.isa import R0, R1, R2
+from repro.ebpf.memory import PACKET_REGION_BASE
+from repro.ebpf.probes import (
+    CallbackAttachment,
+    EBPFAttachment,
+    HookRegistry,
+    ProbeEvent,
+    ProbeKind,
+    ProbeSpec,
+)
+from repro.ebpf.vm import BPFProgram, ExecutionEnv
+from repro.net.addressing import IPv4Address, MACAddress
+from repro.net.packet import (
+    EthernetHeader,
+    IPPROTO_UDP,
+    IPv4Header,
+    Packet,
+    UDPHeader,
+    VXLANHeader,
+    make_udp_packet,
+)
+
+MAC_A, MAC_B = MACAddress.from_index(1), MACAddress.from_index(2)
+IP_A, IP_B = IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2")
+
+
+class TestProbeSpec:
+    def test_parse(self):
+        spec = ProbeSpec.parse("kprobe:udp_send_skb")
+        assert spec.kind is ProbeKind.KPROBE
+        assert spec.target == "udp_send_skb"
+        assert spec.hook_name == "kprobe:udp_send_skb"
+
+    def test_parse_device(self):
+        assert ProbeSpec.parse("dev:vnet0").kind is ProbeKind.DEVICE
+
+    @pytest.mark.parametrize("bad", ["nonsense:foo", "kprobe:", "justtext"])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            ProbeSpec.parse(bad)
+
+
+class TestContext:
+    def _packet(self):
+        return make_udp_packet(MAC_A, MAC_B, IP_A, IP_B, 1234, 5678, b"payload")
+
+    def test_fields_populated(self):
+        ctx, data = build_skb_context(self._packet(), ifindex=3, cpu=2, hook_id=9)
+        assert context_field(ctx, ctxmod.OFF_LEN, 4) == len(data)
+        assert context_field(ctx, ctxmod.OFF_IFINDEX, 4) == 3
+        assert context_field(ctx, ctxmod.OFF_RX_CPU, 4) == 2
+        assert context_field(ctx, ctxmod.OFF_HOOK_ID, 4) == 9
+        assert context_field(ctx, ctxmod.OFF_SRC_IP, 4) == IP_A.value
+        assert context_field(ctx, ctxmod.OFF_DST_IP, 4) == IP_B.value
+        assert context_field(ctx, ctxmod.OFF_SRC_PORT, 2) == 1234
+        assert context_field(ctx, ctxmod.OFF_DST_PORT, 2) == 5678
+        assert context_field(ctx, ctxmod.OFF_IP_PROTO, 1) == IPPROTO_UDP
+
+    def test_data_pointers_span_packet(self):
+        ctx, data = build_skb_context(self._packet())
+        start = context_field(ctx, ctxmod.OFF_DATA, 8)
+        end = context_field(ctx, ctxmod.OFF_DATA_END, 8)
+        assert start == PACKET_REGION_BASE
+        assert end - start == len(data)
+
+    def test_payload_offset_plain(self):
+        ctx, _ = build_skb_context(self._packet())
+        assert context_field(ctx, ctxmod.OFF_PAYLOAD_OFF, 4) == 14 + 20 + 8
+
+    def test_inner_context_strips_vxlan(self):
+        inner = self._packet()
+        outer = Packet(
+            [
+                EthernetHeader(MAC_B, MAC_A),
+                IPv4Header(IPv4Address("1.1.1.1"), IPv4Address("2.2.2.2"), IPPROTO_UDP),
+                UDPHeader(50000, 4789),
+                VXLANHeader(7),
+            ],
+            inner,
+        )
+        ctx, data = build_skb_context(outer, use_inner=True)
+        assert context_field(ctx, ctxmod.OFF_SRC_IP, 4) == IP_A.value
+        assert context_field(ctx, ctxmod.OFF_DST_PORT, 2) == 5678
+        # payload offset covers outer headers + inner headers
+        assert context_field(ctx, ctxmod.OFF_PAYLOAD_OFF, 4) == (14 + 20 + 8 + 8) + (14 + 20 + 8)
+
+    def test_empty_context(self):
+        ctx, data = build_empty_context(ifindex=1, cpu=3, hook_id=7)
+        assert len(data) == 0
+        assert context_field(ctx, ctxmod.OFF_DATA, 8) == context_field(
+            ctx, ctxmod.OFF_DATA_END, 8
+        )
+        assert context_field(ctx, ctxmod.OFF_RX_CPU, 4) == 3
+
+
+class TestHookRegistry:
+    def test_fire_counts_even_without_attachments(self):
+        hooks = HookRegistry("n")
+        event = ProbeEvent(hook="kprobe:foo", node="n")
+        assert hooks.fire(event) == 0
+        assert hooks.fires("kprobe:foo") == 1
+
+    def test_attached_callback_runs_and_costs(self):
+        hooks = HookRegistry("n")
+        seen = []
+        hooks.attach("dev:eth0", CallbackAttachment(seen.append, cost_ns=50))
+        cost = hooks.fire(ProbeEvent(hook="dev:eth0", node="n"))
+        assert cost == 50 and len(seen) == 1
+
+    def test_multiple_attachments_costs_sum(self):
+        hooks = HookRegistry("n")
+        hooks.attach("h", CallbackAttachment(lambda e: None, cost_ns=10))
+        hooks.attach("h", CallbackAttachment(lambda e: None, cost_ns=20))
+        assert hooks.fire(ProbeEvent(hook="h", node="n")) == 30
+
+    def test_detach(self):
+        hooks = HookRegistry("n")
+        att = hooks.attach("h", CallbackAttachment(lambda e: None, cost_ns=10))
+        assert hooks.detach("h", att)
+        assert not hooks.detach("h", att)
+        assert hooks.fire(ProbeEvent(hook="h", node="n")) == 0
+
+    def test_detach_all(self):
+        hooks = HookRegistry("n")
+        hooks.attach("a", CallbackAttachment(lambda e: None))
+        hooks.attach("b", CallbackAttachment(lambda e: None))
+        assert hooks.detach_all() == 2
+        assert not hooks.has_attachments("a")
+
+
+class TestEBPFAttachment:
+    def _counting_program(self):
+        asm = Assembler()
+        asm.ldx_h(R2, R1, ctxmod.OFF_DST_PORT)
+        asm.jne_imm(R2, 5678, "miss")
+        asm.mov_imm(R0, 1)
+        asm.exit_()
+        asm.label("miss")
+        asm.mov_imm(R0, 0)
+        asm.exit_()
+        program = BPFProgram(asm.assemble(), name="count")
+        program.load()
+        return program
+
+    def test_match_statistics(self):
+        program = self._counting_program()
+        attachment = EBPFAttachment(program, ExecutionEnv())
+        hit = make_udp_packet(MAC_A, MAC_B, IP_A, IP_B, 1, 5678, b"")
+        miss = make_udp_packet(MAC_A, MAC_B, IP_A, IP_B, 1, 9, b"")
+        attachment.handle(ProbeEvent(hook="h", node="n", packet=hit))
+        attachment.handle(ProbeEvent(hook="h", node="n", packet=miss))
+        assert attachment.events_seen == 2
+        assert attachment.events_matched == 1
+
+    def test_packetless_event_runs_with_empty_context(self):
+        program = self._counting_program()
+        attachment = EBPFAttachment(program, ExecutionEnv())
+        cost = attachment.handle(ProbeEvent(hook="h", node="n", packet=None))
+        assert cost > 0
+        assert attachment.events_seen == 1
+        assert attachment.events_matched == 0  # dst_port is 0 in empty ctx
+
+    def test_env_cpu_follows_event(self):
+        asm = Assembler()
+        asm.call(8)  # smp_processor_id
+        asm.exit_()
+        program = BPFProgram(asm.assemble(), name="cpu")
+        program.load()
+        env = ExecutionEnv()
+        attachment = EBPFAttachment(program, env)
+        attachment.handle(ProbeEvent(hook="h", node="n",
+                                     packet=make_udp_packet(MAC_A, MAC_B, IP_A, IP_B, 1, 2, b""),
+                                     cpu=3))
+        assert env.cpu == 3

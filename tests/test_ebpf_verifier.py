@@ -1,0 +1,225 @@
+"""The verifier's accept/reject catalogue."""
+
+import pytest
+
+from repro.ebpf import isa
+from repro.ebpf.assembler import Assembler
+from repro.ebpf.isa import Instruction, R0, R1, R2, R3, R5, R6, R9, R10
+from repro.ebpf.verifier import VerifierError, verify
+
+
+def _minimal():
+    asm = Assembler()
+    asm.mov_imm(R0, 0)
+    asm.exit_()
+    return asm
+
+
+class TestAccepts:
+    def test_minimal_program(self):
+        verify(_minimal().assemble())
+
+    def test_branching_program(self):
+        asm = Assembler()
+        asm.ldx_w(R2, R1, 0)
+        asm.jeq_imm(R2, 1, "yes")
+        asm.mov_imm(R0, 0)
+        asm.exit_()
+        asm.label("yes")
+        asm.mov_imm(R0, 1)
+        asm.exit_()
+        verify(asm.assemble())
+
+    def test_helper_call_with_args(self):
+        asm = Assembler()
+        asm.call(5)  # ktime: zero args
+        asm.exit_()
+        verify(asm.assemble())
+
+    def test_stack_access_within_frame(self):
+        asm = Assembler()
+        asm.mov_imm(R2, 7)
+        asm.stx_dw(R10, R2, -8)
+        asm.ldx_dw(R0, R10, -512)
+        asm.exit_()
+        verify(asm.assemble())
+
+    def test_ld_imm64(self):
+        asm = Assembler()
+        asm.ld_imm64(R0, 1 << 40)
+        asm.exit_()
+        verify(asm.assemble())
+
+
+class TestRejects:
+    def test_empty_program(self):
+        with pytest.raises(VerifierError, match="empty"):
+            verify([])
+
+    def test_too_large_program(self):
+        asm = Assembler()
+        for _ in range(isa.MAX_INSNS):
+            asm.mov_imm(R0, 0)
+        asm.exit_()
+        with pytest.raises(VerifierError, match="too large"):
+            verify(asm.assemble())
+
+    def test_exactly_4096_allowed(self):
+        asm = Assembler()
+        for _ in range(isa.MAX_INSNS - 2):
+            asm.mov_imm(R0, 0)
+        asm.mov_imm(R0, 1)
+        asm.exit_()
+        verify(asm.assemble())
+
+    def test_fallthrough_off_end(self):
+        with pytest.raises(VerifierError, match="falls off"):
+            verify([Instruction(isa.BPF_ALU64 | isa.BPF_MOV | isa.BPF_K, dst=R0, imm=0)])
+
+    def test_backward_jump(self):
+        insns = [
+            Instruction(isa.BPF_ALU64 | isa.BPF_MOV | isa.BPF_K, dst=R0, imm=0),
+            Instruction(isa.BPF_JMP | isa.BPF_JA, offset=-2),
+        ]
+        with pytest.raises(VerifierError, match="backward"):
+            verify(insns)
+
+    def test_jump_out_of_bounds(self):
+        insns = [
+            Instruction(isa.BPF_ALU64 | isa.BPF_MOV | isa.BPF_K, dst=R0, imm=0),
+            Instruction(isa.BPF_JMP | isa.BPF_JA, offset=5),
+            Instruction(isa.BPF_JMP | isa.BPF_EXIT),
+        ]
+        with pytest.raises(VerifierError, match="out of bounds|falls off"):
+            verify(insns)
+
+    def test_unreachable_code(self):
+        asm = Assembler()
+        asm.mov_imm(R0, 0)
+        asm.exit_()
+        asm.mov_imm(R0, 1)  # dead
+        asm.exit_()
+        with pytest.raises(VerifierError, match="unreachable"):
+            verify(asm.assemble())
+
+    def test_write_to_frame_pointer(self):
+        insns = [
+            Instruction(isa.BPF_ALU64 | isa.BPF_MOV | isa.BPF_K, dst=R10, imm=0),
+        ]
+        with pytest.raises(VerifierError, match="frame pointer"):
+            verify(insns)
+
+    def test_uninitialized_register_read(self):
+        asm = Assembler()
+        asm.mov_reg(R0, R6)  # R6 never written
+        asm.exit_()
+        with pytest.raises(VerifierError, match="uninitialized"):
+            verify(asm.assemble())
+
+    def test_r0_uninitialized_at_exit(self):
+        asm = Assembler()
+        asm.mov_imm(R2, 1)
+        asm.exit_()
+        with pytest.raises(VerifierError, match="R0 at exit"):
+            verify(asm.assemble())
+
+    def test_merge_requires_init_on_all_paths(self):
+        asm = Assembler()
+        asm.jeq_imm(R1, 0, "skip")  # one path initializes R6, one does not
+        asm.mov_imm(R6, 5)
+        asm.label("skip")
+        asm.mov_reg(R0, R6)
+        asm.exit_()
+        with pytest.raises(VerifierError, match="uninitialized"):
+            verify(asm.assemble())
+
+    def test_call_clobbers_caller_saved(self):
+        asm = Assembler()
+        asm.mov_imm(R2, 1)
+        asm.call(5)
+        asm.mov_reg(R0, R2)  # R2 was clobbered by the call
+        asm.exit_()
+        with pytest.raises(VerifierError, match="uninitialized"):
+            verify(asm.assemble())
+
+    def test_call_preserves_callee_saved(self):
+        asm = Assembler()
+        asm.mov_imm(R6, 1)
+        asm.call(5)
+        asm.mov_reg(R0, R6)
+        asm.exit_()
+        verify(asm.assemble())
+
+    def test_unknown_helper(self):
+        asm = Assembler()
+        asm.call(9999)
+        asm.exit_()
+        with pytest.raises(VerifierError, match="unknown helper"):
+            verify(asm.assemble())
+
+    def test_helper_args_must_be_initialized(self):
+        asm = Assembler()
+        asm.call(1)  # map_lookup needs R1, R2; R2 is uninitialized
+        asm.exit_()
+        with pytest.raises(VerifierError, match="helper arg"):
+            verify(asm.assemble())
+
+    def test_division_by_constant_zero(self):
+        asm = Assembler()
+        asm.mov_imm(R0, 4)
+        asm.div_imm(R0, 0)
+        asm.exit_()
+        with pytest.raises(VerifierError, match="division"):
+            verify(asm.assemble())
+
+    def test_shift_amount_out_of_range(self):
+        asm = Assembler()
+        asm.mov_imm(R0, 1)
+        asm.lsh_imm(R0, 64)
+        asm.exit_()
+        with pytest.raises(VerifierError, match="shift"):
+            verify(asm.assemble())
+
+    def test_stack_out_of_frame(self):
+        asm = Assembler()
+        asm.mov_imm(R2, 0)
+        asm.stx_w(R10, R2, -516)
+        asm.mov_imm(R0, 0)
+        asm.exit_()
+        with pytest.raises(VerifierError, match="outside the 512-byte frame"):
+            verify(asm.assemble())
+
+    def test_stack_positive_offset_rejected(self):
+        asm = Assembler()
+        asm.ldx_w(R0, R10, 8)
+        asm.exit_()
+        with pytest.raises(VerifierError, match="outside the 512-byte frame"):
+            verify(asm.assemble())
+
+    def test_jump_into_ld_imm64_pair(self):
+        insns = [
+            Instruction(isa.BPF_JMP | isa.BPF_JA, offset=1),  # into second slot
+            Instruction(isa.BPF_LD | isa.BPF_IMM | isa.BPF_DW, dst=R0, imm=1),
+            Instruction(0, imm=0),
+            Instruction(isa.BPF_JMP | isa.BPF_EXIT),
+        ]
+        with pytest.raises(VerifierError):
+            verify(insns)
+
+    def test_ld_imm64_missing_second_slot(self):
+        insns = [Instruction(isa.BPF_LD | isa.BPF_IMM | isa.BPF_DW, dst=R0, imm=1)]
+        with pytest.raises(VerifierError, match="second slot"):
+            verify(insns)
+
+    def test_malformed_second_slot(self):
+        insns = [
+            Instruction(isa.BPF_LD | isa.BPF_IMM | isa.BPF_DW, dst=R0, imm=1),
+            Instruction(0, dst=R3, imm=0),
+            Instruction(isa.BPF_JMP | isa.BPF_EXIT),
+        ]
+        with pytest.raises(VerifierError, match="malformed"):
+            verify(insns)
+
+    def test_register_out_of_range(self):
+        with pytest.raises(VerifierError, match="register out of range"):
+            verify([Instruction(isa.BPF_ALU64 | isa.BPF_MOV | isa.BPF_K, dst=12, imm=0)])

@@ -1,0 +1,157 @@
+"""Flow hashing / RPS and GSO segmentation / GRO coalescing."""
+
+from hypothesis import given, strategies as st
+
+from repro.net.addressing import IPv4Address, MACAddress
+from repro.net.flow import FiveTuple, flow_hash, packet_five_tuple, rps_cpu
+from repro.net.gso import GROEngine, gso_segs, segment_packet
+from repro.net.packet import IPPROTO_TCP, IPPROTO_UDP, make_tcp_packet, make_udp_packet
+from repro.sim.engine import Engine
+
+MAC_A, MAC_B = MACAddress.from_index(1), MACAddress.from_index(2)
+IP_A, IP_B = IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2")
+
+
+def _flow(sp=1000, dp=2000, proto=IPPROTO_TCP):
+    return FiveTuple(IP_A, IP_B, sp, dp, proto)
+
+
+class TestFlow:
+    def test_packet_five_tuple_udp(self):
+        packet = make_udp_packet(MAC_A, MAC_B, IP_A, IP_B, 7, 8, b"")
+        flow = packet_five_tuple(packet)
+        assert flow == FiveTuple(IP_A, IP_B, 7, 8, IPPROTO_UDP)
+
+    def test_packet_five_tuple_tcp(self):
+        packet = make_tcp_packet(MAC_A, MAC_B, IP_A, IP_B, 7, 8, b"")
+        assert packet_five_tuple(packet).protocol == IPPROTO_TCP
+
+    def test_reversed_swaps_endpoints(self):
+        flow = _flow()
+        rev = flow.reversed()
+        assert rev.src_ip == flow.dst_ip and rev.src_port == flow.dst_port
+
+    def test_hash_deterministic(self):
+        assert flow_hash(_flow()) == flow_hash(_flow())
+
+    def test_hash_differs_across_flows(self):
+        assert flow_hash(_flow(sp=1000)) != flow_hash(_flow(sp=1001))
+
+    def test_rps_disabled_pins_cpu0(self):
+        assert rps_cpu(_flow(), 8, rps_enabled=False) == 0
+
+    def test_rps_single_cpu(self):
+        assert rps_cpu(_flow(), 1) == 0
+
+    @given(sp=st.integers(min_value=1, max_value=65535))
+    def test_rps_stable_per_flow(self, sp):
+        flow = _flow(sp=sp)
+        assert rps_cpu(flow, 4) == rps_cpu(flow, 4)
+        assert 0 <= rps_cpu(flow, 4) < 4
+
+
+class TestSegmentation:
+    def test_small_packet_passthrough(self):
+        packet = make_tcp_packet(MAC_A, MAC_B, IP_A, IP_B, 1, 2, b"x" * 100)
+        assert segment_packet(packet, 1448) == [packet]
+
+    def test_tcp_super_segment_split(self):
+        packet = make_tcp_packet(MAC_A, MAC_B, IP_A, IP_B, 1, 2, bytes(5000), seq=1000)
+        segments = segment_packet(packet, 1448)
+        assert [len(s.payload) for s in segments] == [1448, 1448, 1448, 656]
+        assert [s.tcp.seq for s in segments] == [1000, 2448, 3896, 5344]
+
+    def test_udp_fragmentation_split(self):
+        packet = make_udp_packet(MAC_A, MAC_B, IP_A, IP_B, 1, 2, bytes(4000))
+        segments = segment_packet(packet, 1398)
+        assert sum(len(s.payload) for s in segments) == 4000
+        assert len(segments) == 3
+
+    def test_non_l4_passthrough(self):
+        from repro.net.packet import EthernetHeader, Packet
+
+        packet = Packet([EthernetHeader(MAC_B, MAC_A)], bytes(5000))
+        assert segment_packet(packet, 1448) == [packet]
+
+    @given(size=st.integers(min_value=1, max_value=20000),
+           mss=st.integers(min_value=100, max_value=2000))
+    def test_segments_cover_payload_exactly(self, size, mss):
+        packet = make_tcp_packet(MAC_A, MAC_B, IP_A, IP_B, 1, 2, bytes(size), seq=0)
+        segments = segment_packet(packet, mss)
+        assert sum(len(s.payload) for s in segments) == size
+        assert all(len(s.payload) <= mss for s in segments)
+        # contiguous sequence space
+        expected = 0
+        for seg in segments:
+            assert seg.tcp.seq == expected
+            expected += len(seg.payload)
+
+
+class TestGRO:
+    def _engine_and_sink(self):
+        engine = Engine()
+        out = []
+        gro = GROEngine(engine, deliver=lambda p, c: out.append(p), flush_batch=4,
+                        window_ns=10_000)
+        return engine, gro, out
+
+    def _segments(self, count, size=100, start_seq=0):
+        packets = []
+        seq = start_seq
+        for _ in range(count):
+            packets.append(
+                make_tcp_packet(MAC_A, MAC_B, IP_A, IP_B, 1, 2, bytes(size), seq=seq)
+            )
+            seq += size
+        return packets
+
+    def test_batch_flush_merges(self):
+        engine, gro, out = self._engine_and_sink()
+        for seg in self._segments(4):
+            gro.push(seg, None)
+        assert len(out) == 1
+        assert len(out[0].payload) == 400
+        assert gso_segs(out[0]) == 4
+
+    def test_timer_flush(self):
+        engine, gro, out = self._engine_and_sink()
+        for seg in self._segments(2):
+            gro.push(seg, None)
+        assert out == []
+        engine.run()
+        assert len(out) == 1 and len(out[0].payload) == 200
+
+    def test_gap_flushes_then_restarts(self):
+        engine, gro, out = self._engine_and_sink()
+        segs = self._segments(2)
+        gro.push(segs[0], None)
+        # Sequence gap: not contiguous with the buffered segment.
+        late = make_tcp_packet(MAC_A, MAC_B, IP_A, IP_B, 1, 2, bytes(100), seq=5000)
+        gro.push(late, None)
+        assert len(out) == 1 and out[0].payload == bytes(100)  # first flushed alone
+        engine.run()
+        assert len(out) == 2
+
+    def test_udp_passthrough(self):
+        engine, gro, out = self._engine_and_sink()
+        packet = make_udp_packet(MAC_A, MAC_B, IP_A, IP_B, 1, 2, b"u")
+        gro.push(packet, None)
+        assert out == [packet]
+
+    def test_pure_ack_flushes_same_flow_first(self):
+        engine, gro, out = self._engine_and_sink()
+        gro.push(self._segments(1)[0], None)
+        ack = make_tcp_packet(MAC_A, MAC_B, IP_A, IP_B, 1, 2, b"", seq=100)
+        gro.push(ack, None)
+        # data flushed before the ack to preserve ordering
+        assert [len(p.payload) if isinstance(p.payload, bytes) else -1 for p in out] == [100, 0]
+
+    def test_flows_buffer_independently(self):
+        engine, gro, out = self._engine_and_sink()
+        a = make_tcp_packet(MAC_A, MAC_B, IP_A, IP_B, 1, 2, bytes(100), seq=0)
+        b = make_tcp_packet(MAC_A, MAC_B, IP_A, IP_B, 3, 4, bytes(100), seq=0)
+        gro.push(a, None)
+        gro.push(b, None)
+        assert out == []
+        gro.flush_all()
+        assert len(out) == 2

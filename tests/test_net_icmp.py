@@ -1,0 +1,86 @@
+"""ICMP echo: message format, responder, the Ping driver."""
+
+import pytest
+
+from repro.net.icmp import (
+    ICMP_ECHO_REPLY,
+    ICMP_ECHO_REQUEST,
+    ICMPResponder,
+    Ping,
+    build_echo,
+    parse_echo,
+)
+from repro.net.checksum import verify_checksum
+from repro.net.addressing import IPv4Address
+
+
+class TestMessageFormat:
+    def test_roundtrip(self):
+        message = build_echo(ICMP_ECHO_REQUEST, 0x1234, 7, b"payload")
+        icmp_type, identifier, sequence, payload = parse_echo(message)
+        assert (icmp_type, identifier, sequence, payload) == (
+            ICMP_ECHO_REQUEST, 0x1234, 7, b"payload"
+        )
+
+    def test_checksum_valid(self):
+        message = build_echo(ICMP_ECHO_REPLY, 1, 2, b"x" * 10)
+        assert verify_checksum(message)
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            parse_echo(b"\x08\x00")
+
+
+class TestPing:
+    def test_ping_across_veth(self, engine, two_nodes):
+        node_a, node_b, ip_a, ip_b = two_nodes
+        ICMPResponder(node_b)
+        ping = Ping(node_a, ip_a, ip_b, interval_ns=1_000_000)
+        ping.start(count=10)
+        engine.run(until=100_000_000)
+        assert ping.received == ping.sent == 10
+        assert ping.loss_count == 0
+        assert all(5_000 < rtt < 100_000 for rtt in ping.rtts_ns)
+
+    def test_responder_counts_requests(self, engine, two_nodes):
+        node_a, node_b, ip_a, ip_b = two_nodes
+        responder = ICMPResponder(node_b)
+        Ping(node_a, ip_a, ip_b).start(count=3)
+        engine.run(until=100_000_000)
+        assert responder.requests_answered == 3
+
+    def test_no_responder_means_loss(self, engine, two_nodes):
+        node_a, node_b, ip_a, ip_b = two_nodes
+        ping = Ping(node_a, ip_a, ip_b)
+        ping.start(count=3)
+        engine.run(until=100_000_000)
+        assert ping.received == 0
+        assert ping.loss_count == 3
+
+    def test_concurrent_pings_do_not_cross(self, engine, two_nodes):
+        node_a, node_b, ip_a, ip_b = two_nodes
+        ICMPResponder(node_b)
+        ping1 = Ping(node_a, ip_a, ip_b, interval_ns=500_000)
+        ping2 = Ping(node_a, ip_a, ip_b, interval_ns=700_000)
+        ping1.start(count=5)
+        ping2.start(count=5)
+        engine.run(until=100_000_000)
+        assert ping1.received == 5 and ping2.received == 5
+        assert ping1.identifier != ping2.identifier
+
+    def test_icmp_hook_fires(self, engine, two_nodes):
+        node_a, node_b, ip_a, ip_b = two_nodes
+        ICMPResponder(node_b)
+        Ping(node_a, ip_a, ip_b).start(count=2)
+        engine.run(until=100_000_000)
+        assert node_b.hooks.fires("kprobe:icmp_rcv") == 2
+
+    def test_ping_through_overlay(self):
+        from repro.experiments.topologies import build_overlay_case
+
+        scene = build_overlay_case(seed=5)
+        ICMPResponder(scene.container2.node)
+        ping = Ping(scene.container1.node, scene.c1_ip, scene.c2_ip)
+        ping.start(count=5)
+        scene.engine.run(until=200_000_000)
+        assert ping.received == 5

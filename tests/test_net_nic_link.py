@@ -1,0 +1,128 @@
+"""Physical NICs, links: serialization, propagation, TSO/GRO."""
+
+import pytest
+
+from repro.net.addressing import IPv4Address, MACAddress
+from repro.net.nic import Link, PhysicalNIC, connect_hosts
+from repro.net.packet import make_tcp_packet, make_udp_packet
+from repro.net.stack import KernelNode
+from repro.sim.engine import Engine
+
+IP_A, IP_B = IPv4Address("10.3.0.1"), IPv4Address("10.3.0.2")
+
+
+def _hosts(engine, rate_gbps=1.0, propagation_ns=10_000, **nic_kwargs):
+    node_a = KernelNode(engine, "ha")
+    node_b = KernelNode(engine, "hb")
+    nic_a, nic_b, link = connect_hosts(
+        engine, node_a, "eth0", node_b, "eth0",
+        rate_gbps=rate_gbps, propagation_ns=propagation_ns, **nic_kwargs,
+    )
+    nic_a.ip, nic_b.ip = IP_A, IP_B
+    node_a.add_route(IPv4Address("10.3.0.0"), 24, nic_a, src_ip=IP_A)
+    node_b.add_route(IPv4Address("10.3.0.0"), 24, nic_b, src_ip=IP_B)
+    node_a.add_neighbor(IP_B, nic_b.mac)
+    node_b.add_neighbor(IP_A, nic_a.mac)
+    return node_a, node_b, nic_a, nic_b, link
+
+
+class TestLinkTiming:
+    def test_arrival_includes_serialization_and_propagation(self, engine):
+        node_a, node_b, nic_a, nic_b, link = _hosts(engine, rate_gbps=1.0,
+                                                    propagation_ns=10_000)
+        packet = make_udp_packet(nic_a.mac, nic_b.mac, IP_A, IP_B, 1, 2, bytes(958))
+        # total 958+42=1000 bytes -> 8000 ns at 1 Gbps.
+        arrivals = []
+        original = nic_b.link_receive
+        nic_b.link_receive = lambda p: arrivals.append(engine.now) or original(p)
+        link.send(nic_a, packet)
+        engine.run()
+        assert arrivals == [8_000 + 10_000]
+
+    def test_back_to_back_serialize_fifo(self, engine):
+        node_a, node_b, nic_a, nic_b, link = _hosts(engine, rate_gbps=1.0,
+                                                    propagation_ns=0)
+        arrivals = []
+        original = nic_b.link_receive
+        nic_b.link_receive = lambda p: arrivals.append(engine.now) or original(p)
+        for _ in range(3):
+            link.send(nic_a, make_udp_packet(nic_a.mac, nic_b.mac, IP_A, IP_B, 1, 2, bytes(958)))
+        engine.run()
+        assert arrivals == [8_000, 16_000, 24_000]
+
+    def test_directions_independent(self, engine):
+        node_a, node_b, nic_a, nic_b, link = _hosts(engine, rate_gbps=1.0, propagation_ns=0)
+        times = []
+        for nic in (nic_b, nic_a):
+            original = nic.link_receive
+            nic.link_receive = (lambda orig: lambda p: times.append(engine.now) or orig(p))(original)
+        link.send(nic_a, make_udp_packet(nic_a.mac, nic_b.mac, IP_A, IP_B, 1, 2, bytes(958)))
+        link.send(nic_b, make_udp_packet(nic_b.mac, nic_a.mac, IP_B, IP_A, 1, 2, bytes(958)))
+        engine.run()
+        assert times == [8_000, 8_000]  # no shared queueing
+
+    def test_faster_link_is_faster(self, engine):
+        node_a, node_b, nic_a, nic_b, link = _hosts(engine, rate_gbps=10.0, propagation_ns=0)
+        arrivals = []
+        original = nic_b.link_receive
+        nic_b.link_receive = lambda p: arrivals.append(engine.now) or original(p)
+        link.send(nic_a, make_udp_packet(nic_a.mac, nic_b.mac, IP_A, IP_B, 1, 2, bytes(958)))
+        engine.run()
+        assert arrivals == [800]
+
+    def test_unattached_sender_rejected(self, engine):
+        node = KernelNode(engine, "x")
+        nic = PhysicalNIC(node, "ethX")
+        link = Link(engine)
+        with pytest.raises(ValueError):
+            link.send(nic, make_udp_packet(nic.mac, nic.mac, IP_A, IP_B, 1, 2, b""))
+
+
+class TestTSOGRO:
+    def test_tso_segments_super_packets_on_wire(self, engine):
+        node_a, node_b, nic_a, nic_b, link = _hosts(engine, gro_batch=0)
+        wire = []
+        original = nic_b.link_receive
+        nic_b.link_receive = lambda p: wire.append(p.payload_length) or original(p)
+        big = make_tcp_packet(nic_a.mac, nic_b.mac, IP_A, IP_B, 1, 2, bytes(5000), seq=0)
+        nic_a._egress(big, None)
+        engine.run()
+        assert wire == [1448, 1448, 1448, 656]
+
+    def test_tso_disabled_sends_whole(self, engine):
+        node_a, node_b, nic_a, nic_b, link = _hosts(engine, tso=False, gro_batch=0)
+        wire = []
+        original = nic_b.link_receive
+        nic_b.link_receive = lambda p: wire.append(p.payload_length) or original(p)
+        big = make_tcp_packet(nic_a.mac, nic_b.mac, IP_A, IP_B, 1, 2, bytes(5000), seq=0)
+        nic_a._egress(big, None)
+        engine.run()
+        assert wire == [5000]
+
+    def test_gro_coalesces_dense_arrivals(self, engine):
+        # 10G: wire gaps ~1.2us < the 5us GRO window -> coalescing.
+        node_a, node_b, nic_a, nic_b, link = _hosts(engine, rate_gbps=10.0)
+        delivered = []
+        original_receive = nic_b.receive
+
+        def spy(packet):
+            delivered.append(packet.payload_length)
+            original_receive(packet)
+
+        nic_b.receive = spy
+        big = make_tcp_packet(nic_a.mac, nic_b.mac, IP_A, IP_B, 1, 2, bytes(8 * 1448), seq=0)
+        nic_a._egress(big, None)
+        engine.run()
+        assert len(delivered) < 8
+        assert sum(delivered) == 8 * 1448
+
+    def test_gro_does_not_merge_sparse_arrivals(self, engine):
+        # 0.1G: gaps ~120us >> window -> no merging.
+        node_a, node_b, nic_a, nic_b, link = _hosts(engine, rate_gbps=0.1)
+        delivered = []
+        original_receive = nic_b.receive
+        nic_b.receive = lambda p: delivered.append(p.payload_length) or original_receive(p)
+        big = make_tcp_packet(nic_a.mac, nic_b.mac, IP_A, IP_B, 1, 2, bytes(4 * 1448), seq=0)
+        nic_a._egress(big, None)
+        engine.run()
+        assert delivered == [1448, 1448, 1448, 1448]

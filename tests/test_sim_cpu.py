@@ -1,0 +1,108 @@
+"""CPUs: serialized service, queue bounds, gating, idle callbacks."""
+
+from repro.sim.cpu import CPU, GatedCPU
+from repro.sim.engine import Engine
+
+
+class TestCPU:
+    def test_jobs_serialize(self, engine):
+        cpu = CPU(engine)
+        done = []
+        cpu.submit(100, lambda: done.append(engine.now))
+        cpu.submit(50, lambda: done.append(engine.now))
+        engine.run()
+        assert done == [100, 150]
+
+    def test_submit_front_preempts_queue_order(self, engine):
+        cpu = CPU(engine)
+        done = []
+        cpu.submit(10, lambda: done.append("first"))
+        cpu.submit(10, lambda: done.append("queued"))
+        cpu.submit_front(10, lambda: done.append("front"))
+        engine.run()
+        # "first" is already in service; "front" jumps ahead of "queued".
+        assert done == ["first", "front", "queued"]
+
+    def test_queue_limit_drops(self, engine):
+        cpu = CPU(engine, queue_limit=2)
+        accepted = [cpu.submit(10) for _ in range(4)]
+        # First job starts service immediately; two fit in the queue.
+        assert accepted == [True, True, True, False]
+        assert cpu.jobs_dropped == 1
+
+    def test_busy_time_accounting(self, engine):
+        cpu = CPU(engine)
+        cpu.submit(300)
+        cpu.submit(200)
+        engine.run()
+        assert cpu.busy_ns == 500
+        assert cpu.jobs_completed == 2
+
+    def test_utilization_fraction(self, engine):
+        cpu = CPU(engine)
+        cpu.submit(250)
+        engine.schedule(1000, lambda: None)
+        engine.run()
+        assert abs(cpu.utilization() - 0.25) < 1e-9
+
+    def test_on_idle_fires_when_queue_drains(self, engine):
+        cpu = CPU(engine)
+        idles = []
+        cpu.on_idle = lambda: idles.append(engine.now)
+        cpu.submit(10)
+        cpu.submit(20)
+        engine.run()
+        assert idles == [30]
+
+    def test_callback_submitting_more_work_defers_idle(self, engine):
+        cpu = CPU(engine)
+        idles = []
+        cpu.on_idle = lambda: idles.append(engine.now)
+        cpu.submit(10, lambda: cpu.submit(5))
+        engine.run()
+        assert idles == [15]
+
+
+class TestGatedCPU:
+    def test_paused_cpu_holds_jobs(self, engine):
+        cpu = GatedCPU(engine, start_paused=True)
+        done = []
+        cpu.submit(10, lambda: done.append(engine.now))
+        engine.run(until=100)
+        assert done == []
+        cpu.resume()
+        engine.run()
+        assert done == [110]
+
+    def test_kick_fires_even_while_paused(self, engine):
+        cpu = GatedCPU(engine, start_paused=True)
+        kicks = []
+        cpu.on_work_queued = lambda: kicks.append(engine.now)
+        cpu.submit(10)
+        assert kicks == [0]
+
+    def test_pause_lets_current_job_finish(self, engine):
+        cpu = GatedCPU(engine)
+        done = []
+        cpu.submit(100, lambda: done.append("a"))
+        cpu.submit(100, lambda: done.append("b"))
+        engine.schedule(50, cpu.pause)
+        engine.run(until=500)
+        assert done == ["a"]  # in-flight job completes, next one held
+        cpu.resume()
+        engine.run()
+        assert done == ["a", "b"]
+
+    def test_has_pending_work(self, engine):
+        cpu = GatedCPU(engine, start_paused=True)
+        assert not cpu.has_pending_work()
+        cpu.submit(10)
+        assert cpu.has_pending_work()
+
+    def test_resume_idempotent(self, engine):
+        cpu = GatedCPU(engine, start_paused=True)
+        cpu.resume()
+        cpu.resume()
+        cpu.submit(10)
+        engine.run()
+        assert cpu.jobs_completed == 1

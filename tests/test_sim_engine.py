@@ -1,0 +1,218 @@
+"""Engine: event ordering, processes, signals, determinism."""
+
+import pytest
+
+from repro.sim.engine import Engine, Signal, SimulationError
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self, engine):
+        seen = []
+        engine.schedule(30, seen.append, "c")
+        engine.schedule(10, seen.append, "a")
+        engine.schedule(20, seen.append, "b")
+        engine.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_ties_run_in_scheduling_order(self, engine):
+        seen = []
+        for tag in ("first", "second", "third"):
+            engine.schedule(5, seen.append, tag)
+        engine.run()
+        assert seen == ["first", "second", "third"]
+
+    def test_now_advances_to_event_time(self, engine):
+        times = []
+        engine.schedule(100, lambda: times.append(engine.now))
+        engine.schedule(250, lambda: times.append(engine.now))
+        engine.run()
+        assert times == [100, 250]
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self, engine):
+        engine.schedule(50, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(10, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self, engine):
+        seen = []
+        event = engine.schedule(10, seen.append, "x")
+        event.cancel()
+        engine.run()
+        assert seen == []
+
+    def test_cancel_is_idempotent(self, engine):
+        event = engine.schedule(10, lambda: None)
+        event.cancel()
+        event.cancel()
+        engine.run()
+
+    def test_run_until_stops_at_boundary(self, engine):
+        seen = []
+        engine.schedule(10, seen.append, "in")
+        engine.schedule(1000, seen.append, "out")
+        engine.run(until=100)
+        assert seen == ["in"]
+        assert engine.now == 100
+        assert engine.pending() == 1
+
+    def test_run_until_then_continue(self, engine):
+        seen = []
+        engine.schedule(10, seen.append, 1)
+        engine.schedule(200, seen.append, 2)
+        engine.run(until=100)
+        engine.run()
+        assert seen == [1, 2]
+
+    def test_max_events_bound(self, engine):
+        seen = []
+        for i in range(10):
+            engine.schedule(i, seen.append, i)
+        engine.run(max_events=4)
+        assert seen == [0, 1, 2, 3]
+
+    def test_events_scheduled_during_run_execute(self, engine):
+        seen = []
+
+        def outer():
+            engine.schedule(5, seen.append, "inner")
+
+        engine.schedule(1, outer)
+        engine.run()
+        assert seen == ["inner"]
+
+    def test_reentrant_run_rejected(self, engine):
+        def inner():
+            with pytest.raises(SimulationError):
+                engine.run()
+
+        engine.schedule(1, inner)
+        engine.run()
+
+    def test_pending_counts_uncancelled(self, engine):
+        e1 = engine.schedule(10, lambda: None)
+        engine.schedule(20, lambda: None)
+        e1.cancel()
+        assert engine.pending() == 1
+
+
+class TestSignal:
+    def test_waiters_fire_on_trigger(self, engine):
+        signal = Signal(engine)
+        seen = []
+        signal.add_waiter(seen.append)
+        engine.schedule(10, signal.trigger, "value")
+        engine.run()
+        assert seen == ["value"]
+
+    def test_late_waiter_fires_immediately(self, engine):
+        signal = Signal(engine)
+        signal.trigger(42)
+        seen = []
+        signal.add_waiter(seen.append)
+        engine.run()
+        assert seen == [42]
+
+    def test_double_trigger_rejected(self, engine):
+        signal = Signal(engine)
+        signal.trigger()
+        with pytest.raises(SimulationError):
+            signal.trigger()
+
+    def test_multiple_waiters_all_fire(self, engine):
+        signal = Signal(engine)
+        seen = []
+        for _ in range(3):
+            signal.add_waiter(seen.append)
+        signal.trigger("v")
+        engine.run()
+        assert seen == ["v", "v", "v"]
+
+
+class TestSimProcess:
+    def test_yield_delay_advances_time(self, engine):
+        marks = []
+
+        def proc():
+            marks.append(engine.now)
+            yield 100
+            marks.append(engine.now)
+            yield 50
+            marks.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert marks == [0, 100, 150]
+
+    def test_yield_signal_blocks_until_trigger(self, engine):
+        signal = Signal(engine)
+        got = []
+
+        def proc():
+            value = yield signal
+            got.append((engine.now, value))
+
+        engine.process(proc())
+        engine.schedule(75, signal.trigger, "hello")
+        engine.run()
+        assert got == [(75, "hello")]
+
+    def test_completion_signal_carries_return_value(self, engine):
+        def worker():
+            yield 10
+            return "result"
+
+        def waiter(proc):
+            value = yield proc.completion
+            results.append(value)
+
+        results = []
+        proc = engine.process(worker())
+        engine.process(waiter(proc))
+        engine.run()
+        assert results == ["result"]
+        assert proc.done and proc.result == "result"
+
+    def test_negative_yield_raises(self, engine):
+        def proc():
+            yield -5
+
+        engine.process(proc())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_bad_yield_type_raises(self, engine):
+        def proc():
+            yield "nonsense"
+
+        engine.process(proc())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_yield_none_resumes_same_timestamp(self, engine):
+        marks = []
+
+        def proc():
+            yield None
+            marks.append(engine.now)
+
+        engine.process(proc())
+        engine.run()
+        assert marks == [0]
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_traces(self):
+        def build_and_run():
+            engine = Engine()
+            trace = []
+            for i in range(50):
+                engine.schedule((i * 37) % 11, trace.append, i)
+            engine.run()
+            return trace
+
+        assert build_and_run() == build_and_run()

@@ -1,0 +1,166 @@
+"""Open vSwitch: queueing, round-robin service, policing, HTB, local port."""
+
+import pytest
+
+from repro.net.addressing import IPv4Address, MACAddress
+from repro.net.device import VethDevice
+from repro.net.packet import make_udp_packet
+from repro.net.stack import KernelNode
+from repro.sim.engine import Engine
+from repro.virt.ovs import HTBShaper, OVSBridge, TokenBucketPolicer
+
+IP_A, IP_B = IPv4Address("10.4.0.1"), IPv4Address("10.4.0.2")
+
+
+def _switch(engine, ports=2, queue_capacity=None):
+    node = KernelNode(engine, "host")
+    ovs = OVSBridge(node, "ovs-br1")
+    endpoints = []
+    for i in range(ports):
+        inner, outer = VethDevice.create_pair(node, f"in{i}", node, f"out{i}")
+        port = ovs.add_port(inner, queue_capacity=queue_capacity)
+        endpoints.append((inner, outer, port))
+    return node, ovs, endpoints
+
+
+def _frame(src_mac, dst_mac, seq=0):
+    return make_udp_packet(src_mac, dst_mac, IP_A, IP_B, 1000, 2000, bytes(100), app_seq=seq)
+
+
+class TestSwitching:
+    def test_learned_unicast_forwarding(self, engine):
+        node, ovs, eps = _switch(engine)
+        (in0, out0, p0), (in1, out1, p1) = eps
+        mac_x, mac_y = MACAddress.from_index(100), MACAddress.from_index(101)
+        ovs.fdb[mac_y.value] = p1
+        ovs.ingress(in0, _frame(mac_x, mac_y), node.cpus[0])
+        engine.run()
+        assert ovs.switched == 1
+        assert in1.stats.tx_packets == 1  # egressed via port 1's device
+        assert ovs.fdb[mac_x.value] is p0  # learned the source
+
+    def test_unknown_destination_floods(self, engine):
+        node, ovs, eps = _switch(engine, ports=3)
+        in0 = eps[0][0]
+        ovs.ingress(in0, _frame(MACAddress.from_index(1), MACAddress.from_index(2)),
+                    node.cpus[0])
+        engine.run()
+        assert ovs.flooded == 1
+        assert eps[1][0].stats.tx_packets == 1
+        assert eps[2][0].stats.tx_packets == 1
+        assert eps[0][0].stats.tx_packets == 0
+
+    def test_local_port_delivery(self, engine):
+        node, ovs, eps = _switch(engine)
+        ovs.ip = IP_B
+        got = []
+        sock = node.bind_udp(IP_B, 2000)
+        sock.on_receive = lambda payload, *r: got.append(payload)
+        ovs.ingress(eps[0][0], _frame(MACAddress.from_index(1), ovs.mac), node.cpus[0])
+        engine.run()
+        assert got == [bytes(100)]
+
+    def test_queue_capacity_drops(self, engine):
+        node, ovs, eps = _switch(engine, queue_capacity=4)
+        in0, _out0, p0 = eps[0]
+        mac_y = MACAddress.from_index(9)
+        ovs.fdb[mac_y.value] = eps[1][2]
+        for seq in range(50):
+            p0.submit(_frame(MACAddress.from_index(1), mac_y, seq))
+        assert p0.queue_drops > 0
+        assert p0.enqueued + p0.queue_drops == 50
+
+    def test_round_robin_interleaves_busy_ports(self, engine):
+        node, ovs, eps = _switch(engine, ports=2)
+        mac_y = MACAddress.from_index(9)
+        target_inner, target_outer = VethDevice.create_pair(node, "tin", node, "tout")
+        target_port = ovs.add_port(target_inner)
+        ovs.fdb[mac_y.value] = target_port
+        order = []
+        original = ovs._switch
+
+        def spy(in_port, packet):
+            order.append(in_port.device.name)
+            original(in_port, packet)
+
+        ovs._switch = spy
+        for seq in range(3):
+            eps[0][2].submit(_frame(MACAddress.from_index(1), mac_y, seq))
+            eps[1][2].submit(_frame(MACAddress.from_index(2), mac_y, seq))
+        engine.run()
+        # Strict alternation between the two busy ports.
+        assert order[:6] in (["in0", "in1"] * 3, ["in1", "in0"] * 3)
+
+    def test_busy_ports_slow_service(self, engine):
+        node = KernelNode(engine, "h")
+        costs = node.costs
+        # service with 1 busy port vs 2 busy ports differs by the per-port term
+        assert costs.ovs_switch_per_busy_port_ns > 0
+
+
+class TestPolicing:
+    def test_burst_then_rate_limit(self, engine):
+        policer = TokenBucketPolicer(engine, rate_kbps=8, burst_kb=8)  # 1 KB burst, 1 KB/s
+        packet = make_udp_packet(
+            MACAddress.from_index(1), MACAddress.from_index(2), IP_A, IP_B, 1, 2, bytes(458)
+        )  # 500B total
+        assert policer.admit(packet)
+        assert policer.admit(packet)
+        assert not policer.admit(packet)  # bucket empty
+        assert policer.dropped == 1
+
+    def test_tokens_refill_over_time(self, engine):
+        policer = TokenBucketPolicer(engine, rate_kbps=8_000, burst_kb=8)  # 1 MB/s
+        packet = make_udp_packet(
+            MACAddress.from_index(1), MACAddress.from_index(2), IP_A, IP_B, 1, 2, bytes(958)
+        )
+        assert policer.admit(packet)
+        assert not policer.admit(packet)
+        engine.schedule(2_000_000, lambda: None)  # 2ms -> ~2KB of tokens
+        engine.run()
+        assert policer.admit(packet)
+
+    def test_port_policing_drops_before_queue(self, engine):
+        node, ovs, eps = _switch(engine)
+        in0, _o, p0 = eps[0]
+        p0.set_policing(rate_kbps=8, burst_kb=1)
+        for _ in range(10):
+            p0.submit(_frame(MACAddress.from_index(1), MACAddress.from_index(2)))
+        assert p0.policer_drops > 0
+        assert len(p0.queue) + ovs.switched < 10
+
+
+class TestHTB:
+    def test_classified_traffic_shaped(self, engine):
+        released = []
+        shaper = HTBShaper(engine, release=lambda p: released.append(engine.now))
+        shaper.add_class(lambda p: p.app == "bulk", rate_kbps=8_000)  # 1 MB/s
+        for _ in range(3):
+            packet = make_udp_packet(
+                MACAddress.from_index(1), MACAddress.from_index(2), IP_A, IP_B, 1, 2,
+                bytes(958),
+            )
+            packet.app = "bulk"
+            shaper.submit(packet)
+        engine.run()
+        # 1000B at 1MB/s -> 1ms apart.
+        assert released == [1_000_000, 2_000_000, 3_000_000]
+
+    def test_unclassified_passes_through(self, engine):
+        released = []
+        shaper = HTBShaper(engine, release=lambda p: released.append(engine.now))
+        shaper.add_class(lambda p: False, rate_kbps=1)
+        packet = make_udp_packet(
+            MACAddress.from_index(1), MACAddress.from_index(2), IP_A, IP_B, 1, 2, b"x"
+        )
+        shaper.submit(packet)
+        assert released == [0]
+
+    def test_class_queue_cap(self, engine):
+        shaper = HTBShaper(engine, release=lambda p: None)
+        cls = shaper.add_class(lambda p: True, rate_kbps=1, ceil_packets=2)
+        for _ in range(5):
+            shaper.submit(make_udp_packet(
+                MACAddress.from_index(1), MACAddress.from_index(2), IP_A, IP_B, 1, 2, b"x"
+            ))
+        assert cls.dropped == 3

@@ -1,0 +1,91 @@
+"""Property-style invariants of the hypervisor scheduler.
+
+Randomized wake/work patterns must never violate:
+* work conservation -- every submitted job eventually completes;
+* bounded wake latency -- no job waits longer than the rate limit plus
+  a generous context-switch allowance;
+* single occupancy -- at most one vCPU runs at any time.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cpu import GatedCPU
+from repro.sim.engine import Engine
+from repro.virt.xen import CreditScheduler, VCPU, VCPUState
+
+job_patterns = st.lists(
+    st.tuples(
+        st.integers(min_value=10_000, max_value=900_000),   # gap to next job (ns)
+        st.integers(min_value=1_000, max_value=120_000),    # job service (ns)
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(pattern=job_patterns, ratelimit_us=st.sampled_from([0, 200, 1000]))
+def test_all_jobs_complete_with_bounded_latency(pattern, ratelimit_us):
+    engine = Engine()
+    sched = CreditScheduler(engine, ratelimit_us=ratelimit_us)
+    io_cpu = GatedCPU(engine, name="io", start_paused=True)
+    io = VCPU("io", io_cpu)
+    sched.add_vcpu(io)
+    hog_cpu = GatedCPU(engine, name="hog", start_paused=True)
+    hog = VCPU("hog", hog_cpu, always_busy=True)
+    sched.add_vcpu(hog)
+
+    completions = []
+    submit_times = []
+    now = [1_000_000]
+
+    def submit(service_ns, at_ns):
+        def fire():
+            submit_times.append(engine.now)
+            io_cpu.submit(service_ns, lambda: completions.append(engine.now))
+        engine.schedule(at_ns, fire)
+
+    at = 1_000_000
+    for gap, service in pattern:
+        submit(service, at)
+        at += gap
+
+    engine.run(until=at + 100_000_000)
+
+    assert len(completions) == len(pattern)  # work conservation
+    # Bounded latency: each job finishes within ratelimit + its own
+    # service + queued predecessors' service + switching slack.
+    total_service = sum(service for _gap, service in pattern)
+    bound = ratelimit_us * 1000 + total_service + 200_000
+    for submitted, completed in zip(sorted(submit_times), sorted(completions)):
+        assert completed - submitted <= bound
+
+
+@settings(max_examples=20, deadline=None)
+@given(pattern=job_patterns)
+def test_single_occupancy_invariant(pattern):
+    engine = Engine()
+    sched = CreditScheduler(engine, ratelimit_us=500)
+    cpus = []
+    for name in ("a", "b", "c"):
+        cpu = GatedCPU(engine, name=name, start_paused=True)
+        vcpu = VCPU(name, cpu)
+        sched.add_vcpu(vcpu)
+        cpus.append((vcpu, cpu))
+
+    violations = []
+
+    def check():
+        running = [v for v, _c in cpus if v.state is VCPUState.RUNNING]
+        if len(running) > 1:
+            violations.append([v.name for v in running])
+        engine.schedule(50_000, check)
+
+    engine.schedule(0, check)
+    at = 100_000
+    for index, (gap, service) in enumerate(pattern):
+        vcpu, cpu = cpus[index % 3]
+        engine.schedule(at, cpu.submit, service)
+        at += gap
+    engine.run(until=at + 20_000_000)
+    assert violations == []

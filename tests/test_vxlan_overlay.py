@@ -1,0 +1,146 @@
+"""VXLAN devices, the overlay network, containers, etcd sync."""
+
+import pytest
+
+from repro.experiments.topologies import build_overlay_case
+from repro.net.addressing import IPv4Address, MACAddress
+from repro.net.bridge import BridgeDevice
+from repro.net.stack import KernelNode
+from repro.net.vxlan import VXLAN_UDP_PORT, VXLANDevice
+from repro.virt.container import Container
+from repro.virt.overlay import EtcdStore, OverlayNetwork
+from repro.sim.engine import Engine
+
+
+class TestEtcdStore:
+    def test_put_get(self):
+        store = EtcdStore()
+        store.put("/a/b", "1")
+        assert store.get("/a/b") == "1"
+        assert store.get("/missing") is None
+
+    def test_prefix_listing(self):
+        store = EtcdStore()
+        store.put("/x/1", "a")
+        store.put("/x/2", "b")
+        store.put("/y/1", "c")
+        assert store.list_prefix("/x/") == {"/x/1": "a", "/x/2": "b"}
+
+    def test_watch_fires_on_matching_puts(self):
+        store = EtcdStore()
+        seen = []
+        store.watch_prefix("/w/", lambda k, v: seen.append((k, v)))
+        store.put("/w/key", "v")
+        store.put("/other", "n")
+        assert seen == [("/w/key", "v")]
+
+
+class TestOverlayControlPlane:
+    def test_container_records_published(self):
+        scene = build_overlay_case(seed=5)
+        records = scene.etcd.list_prefix("/overlay/ovnet/containers/")
+        assert len(records) == 2
+
+    def test_remote_fdb_programmed_on_both_members(self):
+        scene = build_overlay_case(seed=5)
+        # member1 must know c2's MAC -> vxlan port and c2 MAC -> VTEP(vm2).
+        c2_mac = scene.container2.mac
+        assert scene.member1.bridge.fdb[c2_mac.value] is scene.member1.vxlan
+        assert scene.member1.vxlan.vtep_fdb[c2_mac.value] == scene.vm2_ip
+
+    def test_local_containers_not_tunnelled(self):
+        scene = build_overlay_case(seed=5)
+        c1_mac = scene.container1.mac
+        # c1 is local to member1: its MAC must not map to the vxlan port.
+        assert scene.member1.bridge.fdb.get(c1_mac.value) is not scene.member1.vxlan
+
+    def test_late_joiner_syncs_existing_containers(self):
+        scene = build_overlay_case(seed=5)
+        vm3 = scene.host.create_kvm_vm("vm3")
+        ip3 = IPv4Address("192.168.3.13")
+        fe3, be3 = vm3.attach_virtio_nic(ip3, frontend_name="eth0")
+        member3 = scene.overlay.join(vm3.node, ip3)
+        c2_mac = scene.container2.mac
+        assert member3.vxlan.vtep_fdb[c2_mac.value] == scene.vm2_ip
+
+
+class TestOverlayDataPath:
+    def test_container_to_container_udp(self):
+        scene = build_overlay_case(seed=5)
+        engine = scene.engine
+        server = scene.container2.bind_udp(7000)
+        got = []
+        server.on_receive = lambda payload, src, sport, pkt: got.append((payload, str(src)))
+        client = scene.container1.bind_udp(7001)
+        client.sendto(scene.c2_ip, 7000, b"over-the-overlay")
+        engine.run()
+        assert got == [(b"over-the-overlay", "10.32.0.2")]
+
+    def test_packets_are_vxlan_encapsulated_on_the_underlay(self):
+        scene = build_overlay_case(seed=5)
+        engine = scene.engine
+        captured = []
+        from repro.ebpf.probes import CallbackAttachment
+
+        scene.vm2.node.hooks.attach(
+            "dev:eth0", CallbackAttachment(lambda ev: captured.append(ev.packet))
+        )
+        server = scene.container2.bind_udp(7000)
+        scene.container1.bind_udp(7001).sendto(scene.c2_ip, 7000, b"x")
+        engine.run()
+        encapsulated = [p for p in captured if p.vxlan is not None]
+        assert encapsulated
+        outer = encapsulated[0]
+        assert outer.udp.dst_port == VXLAN_UDP_PORT
+        assert outer.ip.dst == scene.vm2_ip
+        assert outer.innermost.ip.dst == scene.c2_ip
+
+    def test_vxlan_counters(self):
+        scene = build_overlay_case(seed=5)
+        engine = scene.engine
+        scene.container2.bind_udp(7000)
+        scene.container1.bind_udp(7001).sendto(scene.c2_ip, 7000, b"x")
+        engine.run()
+        assert scene.member1.vxlan.encapsulated == 1
+        assert scene.member2.vxlan.decapsulated == 1
+
+    def test_tcp_across_overlay(self):
+        scene = build_overlay_case(seed=5)
+        engine = scene.engine
+        received = []
+
+        def on_conn(conn):
+            conn.on_data = lambda c, n, p: received.append(n)
+
+        scene.container2.tcp_listen(8080, on_connection=on_conn)
+        conn = scene.container1.tcp_connect(scene.c2_ip, 8080, gso_bytes=20 * 1448)
+        conn.on_established = lambda c: c.send_app_bytes(100_000)
+        engine.run()
+        assert sum(received) == 100_000
+
+    def test_unknown_destination_dropped(self):
+        scene = build_overlay_case(seed=5)
+        engine = scene.engine
+        ghost_ip = IPv4Address("10.32.0.99")
+        ghost_mac = MACAddress.from_index(999)
+        scene.vm1.node.add_neighbor(ghost_ip, ghost_mac)
+        scene.member1.bridge.fdb[ghost_mac.value] = scene.member1.vxlan
+        scene.container1.bind_udp(7001).sendto(ghost_ip, 7000, b"x")
+        engine.run()
+        assert scene.member1.vxlan.unknown_dst_drops == 1
+
+
+class TestContainer:
+    def test_container_wiring(self, engine):
+        node = KernelNode(engine, "vm")
+        bridge = BridgeDevice(node, "docker0", ip=IPv4Address("172.17.0.1"))
+        container = Container(node, "c", IPv4Address("172.17.0.2"), bridge)
+        assert container.veth_outside.master is bridge
+        assert container.veth_inside.ip == container.ip
+        assert bridge.fdb[container.mac.value] is container.veth_outside
+
+    def test_host_veth_name_generated_docker_style(self, engine):
+        node = KernelNode(engine, "vm")
+        bridge = BridgeDevice(node, "docker0")
+        container = Container(node, "c", IPv4Address("172.17.0.3"), bridge)
+        assert container.host_veth_name.startswith("veth")
