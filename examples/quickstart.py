@@ -10,7 +10,8 @@ VM on each, Open vSwitch bridging each VM to the NIC -- then:
    (host2 boots with a +1.5 ms offset and 20 ppm drift);
 3. deploys tracing scripts, compiled to eBPF bytecode, at four points
    along the path of a Sockperf flow;
-4. runs the workload and prints the end-to-end latency decomposition.
+4. runs the workload and prints the end-to-end latency decomposition,
+   followed by the pipeline's own health report (docs/OBSERVABILITY.md).
 
 Run:  python examples/quickstart.py
 """
@@ -33,6 +34,7 @@ def main() -> None:
     tracer = VNetTracer(engine)
     for kernel in (scene.host1.node, scene.host2.node, scene.vm1.node, scene.vm2.node):
         tracer.add_agent(kernel)
+    tracer.attach_stats_sampler()  # self-observability (docs/OBSERVABILITY.md)
 
     sync = tracer.synchronize_clocks(
         scene.host1.node, scene.host1_ip, "dev:eth0",
@@ -78,6 +80,9 @@ def main() -> None:
     end_to_end = tracer.latencies(chain[0], chain[-1])
     print(f"\n  end-to-end one-way: avg "
           f"{sum(end_to_end) / len(end_to_end) / 1e3:.2f} us over {len(end_to_end)} packets")
+
+    print()
+    print(tracer.pipeline_health())
 
 
 if __name__ == "__main__":

@@ -8,10 +8,14 @@ examples, benchmarks, and notebooks can print or log them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, TYPE_CHECKING
 
 from repro.core.metrics import SegmentLatency
+from repro.obs.registry import Histogram, MetricsRegistry
 from repro.workloads.stats import LatencySummary
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.sampler import StatsSampler
 
 
 def format_ns(value_ns: float) -> str:
@@ -81,6 +85,44 @@ def decomposition_table(segments: Sequence[SegmentLatency]) -> str:
     rows.append(["TOTAL", summaries[0].count if summaries else 0,
                  format_ns(total_avg), "", "100.0%"])
     return _table(["segment", "n", "avg", "max", "share"], rows)
+
+
+def pipeline_health_table(registry: MetricsRegistry) -> str:
+    """One row per exported metric, grouped by pipeline stage.
+
+    Counters and gauges show their across-labels total; histograms show
+    observation count and mean.  This is the human-readable face of the
+    contract in ``docs/OBSERVABILITY.md``.
+    """
+    rows: List[Sequence[str]] = []
+    for metric in registry.metrics():
+        spec = metric.spec
+        if isinstance(metric, Histogram):
+            count = int(metric.total())
+            total_sum = sum(data.sum for _, data in metric.samples())
+            value = f"n={count} avg={total_sum / count:.1f}" if count else "n=0"
+        else:
+            total = metric.total()
+            value = f"{total:.0f}" if float(total).is_integer() else f"{total:.2f}"
+        rows.append([spec.stage, spec.name, spec.kind, spec.unit, value])
+    return _table(["stage", "metric", "type", "unit", "value"], rows)
+
+
+def pipeline_health_report(
+    registry: MetricsRegistry, sampler: Optional["StatsSampler"] = None
+) -> str:
+    """The self-observability report every experiment run can emit
+    alongside its paper-figure output: the metric table plus, when a
+    sampler ran, a one-line summary of the collected time series."""
+    lines = ["pipeline health (self-observability, docs/OBSERVABILITY.md):",
+             pipeline_health_table(registry)]
+    if sampler is not None and sampler.rows:
+        span_ns = sampler.rows[-1]["t_ns"] - sampler.rows[0]["t_ns"]
+        lines.append(
+            f"stats series: {len(sampler.rows)} samples every "
+            f"{format_ns(sampler.interval_ns)} spanning {format_ns(span_ns)}"
+        )
+    return "\n".join(lines)
 
 
 def comparison_table(

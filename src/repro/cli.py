@@ -4,9 +4,16 @@
     python -m repro.cli run fig7a
     python -m repro.cli run fig10a --duration-ms 300 --seed 11
     python -m repro.cli run all
+    python -m repro.cli stats
+    python -m repro.cli stats --format prom --duration-ms 500
 
 Each figure prints its paper-vs-measured block; `run all` walks the
 whole evaluation (§IV).  The same runners back `benchmarks/`.
+
+`stats` runs the quickstart tracing scenario with the self-observability
+layer attached (see docs/OBSERVABILITY.md) and emits the pipeline's own
+health metrics as a table, JSON, Prometheus text, or the sampled time
+series.
 """
 
 from __future__ import annotations
@@ -153,6 +160,33 @@ FIGURES: Dict[str, Callable] = {
 }
 
 
+def _stats(args) -> None:
+    from repro.analysis.reports import pipeline_health_report
+    from repro.obs.export import prometheus_text, series_json, snapshot_json
+    from repro.obs.scenario import run_quickstart_scenario
+
+    result = run_quickstart_scenario(
+        seed=args.seed if args.seed is not None else 42,
+        duration_ns=args.duration_ns,
+        sample_interval_ns=args.sample_interval_ms * 1_000_000,
+    )
+    if args.format == "json":
+        print(snapshot_json(result.registry, t_ns=result.engine.now))
+    elif args.format == "prom":
+        print(prometheus_text(result.registry), end="")
+    elif args.format == "series":
+        print(series_json(result.sampler))
+    else:
+        print(pipeline_health_report(result.registry, sampler=result.sampler))
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {text!r}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Regenerate vNetTracer paper figures."
@@ -165,6 +199,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="experiment seed (default: each runner's own)")
     run.add_argument("--duration-ms", type=int, default=400,
                      help="virtual measurement window per scenario")
+    stats = sub.add_parser(
+        "stats", help="run the quickstart scenario and emit pipeline-health metrics"
+    )
+    stats.add_argument("--seed", type=int, default=42)
+    stats.add_argument("--duration-ms", type=_positive_int, default=1000,
+                       help="virtual duration of the scenario")
+    stats.add_argument("--sample-interval-ms", type=_positive_int, default=50,
+                       help="stats sampler period (virtual ms)")
+    stats.add_argument("--format", choices=("table", "json", "prom", "series"),
+                       default="table", help="output format")
     return parser
 
 
@@ -176,6 +220,9 @@ def main(argv=None) -> int:
         return 0
 
     args.duration_ns = args.duration_ms * 1_000_000
+    if args.command == "stats":
+        _stats(args)
+        return 0
     if args.seed is None:
         # Each runner has its own default seed; expose a common one.
         class _Defaults:

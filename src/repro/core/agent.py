@@ -19,7 +19,7 @@ during the system runtime" path is deploy/teardown/deploy.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.compiler import compile_script
 from repro.core.config import ControlPackage
@@ -27,8 +27,10 @@ from repro.core.records import RECORD_BYTES, TraceRecord
 from repro.core.ringbuffer import FLUSH_FIXED_COST_NS, TraceRingBuffer
 from repro.ebpf.maps import PerCPUArrayMap, PerfEventArray
 from repro.ebpf.probes import EBPFAttachment
-from repro.ebpf.vm import ExecutionEnv
+from repro.ebpf.vm import BPFProgram, ExecutionEnv
 from repro.net.stack import KernelNode
+from repro.obs import contract as obs_contract
+from repro.obs.registry import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.collector import RawDataCollector
@@ -76,18 +78,41 @@ class InstalledScript:
 class Agent:
     """One monitoring daemon."""
 
-    def __init__(self, node: KernelNode, collector: "RawDataCollector"):
+    def __init__(
+        self,
+        node: KernelNode,
+        collector: "RawDataCollector",
+        registry: Optional[MetricsRegistry] = None,
+    ):
         self.node = node
         self.collector = collector
         self.engine = node.engine
+        self.registry = registry
         self.package: Optional[ControlPackage] = None
         self.scripts: Dict[str, InstalledScript] = {}
         self.ring: Optional[TraceRingBuffer] = None
         self.local_store: List[bytes] = []
         self.batches_sent = 0
         self.records_forwarded = 0
+        # Every program this agent ever loaded (kept across teardown so
+        # the obs layer's eBPF counters stay monotone).
+        self.loaded_programs: List[BPFProgram] = []
+        # Fires accumulated by scripts that were since torn down.
+        self._retired_fires: Dict[Tuple[str, str], int] = {}
         self._heartbeat_timer = None
         self._online = False
+
+        self._m_flush_latency = self._m_batches = None
+        self._m_records = self._m_load_ns = None
+        if registry is not None:
+            fires = registry.register_spec(obs_contract.AGENT_PROBE_FIRES)
+            fires.add_callback(self._probe_fire_samples)
+            self._m_flush_latency = registry.register_spec(
+                obs_contract.AGENT_FLUSH_LATENCY)
+            self._m_batches = registry.register_spec(obs_contract.AGENT_BATCHES_SENT)
+            self._m_records = registry.register_spec(
+                obs_contract.AGENT_RECORDS_FORWARDED)
+            self._m_load_ns = registry.register_spec(obs_contract.AGENT_BPF_LOAD_NS)
         collector.register_agent(self)
 
     # -- control plane -------------------------------------------------------
@@ -105,6 +130,9 @@ class Agent:
             flush_interval_ns=cfg.flush_interval_ns,
             on_flush=self._on_ring_flush,
             name=f"{self.node.name}/ring",
+            strict=cfg.ring_strict,
+            registry=self.registry,
+            node=self.node.name,
         )
         self.ring.start()
 
@@ -141,6 +169,9 @@ class Agent:
                 jit=cfg.jit,
             )
             load_cost = program.load()
+            self.loaded_programs.append(program)
+            if self._m_load_ns is not None:
+                self._m_load_ns.inc(load_cost, labels=(self.node.name,))
             # Verification/JIT happens in the bpf() syscall on a host CPU.
             self.node.cpus[0].submit(load_cost, None, tag="bpf-load")
             env = ExecutionEnv(
@@ -165,7 +196,11 @@ class Agent:
 
     def teardown(self) -> None:
         """Detach all scripts and stop buffering (runtime reconfiguration)."""
-        for script in self.scripts.values():
+        for label, script in self.scripts.items():
+            key = (self.node.name, label)
+            self._retired_fires[key] = (
+                self._retired_fires.get(key, 0) + script.attachment.program.run_count
+            )
             self.node.hooks.detach(script.hook, script.attachment)
         self.scripts.clear()
         if self.ring is not None:
@@ -185,6 +220,9 @@ class Agent:
         # The mmap'd /proc buffer: the drain itself is cheap and does
         # not copy per record.
         self.node.cpus[0].submit(FLUSH_FIXED_COST_NS, None, tag="ring-flush")
+        if self._m_flush_latency is not None and self.ring is not None:
+            self._m_flush_latency.observe(
+                self.ring.last_flush_age_ns, labels=(self.node.name,))
         if self._online:
             self._ship(batch)
         else:
@@ -194,6 +232,7 @@ class Agent:
         cost = BATCH_FIXED_COST_NS + int(len(batch) * RECORD_BYTES * BATCH_NS_PER_BYTE)
         self.batches_sent += 1
         self.records_forwarded += len(batch)
+        self._count_shipment(len(batch))
         records = [TraceRecord.unpack(raw) for raw in batch]
 
         def deliver() -> None:
@@ -212,6 +251,7 @@ class Agent:
         records = [TraceRecord.unpack(raw) for raw in batch]
         self.records_forwarded += len(records)
         self.batches_sent += 1
+        self._count_shipment(len(records))
         self.collector.receive_batch(self.node.name, records)
         return len(records)
 
@@ -224,6 +264,23 @@ class Agent:
     def _heartbeat(self) -> None:
         self.collector.heartbeat(self.node.name)
         self._schedule_heartbeat()
+
+    # -- self-observability ------------------------------------------------------
+
+    def _count_shipment(self, records: int) -> None:
+        if self._m_batches is not None:
+            self._m_batches.inc(labels=(self.node.name,))
+            self._m_records.inc(records, labels=(self.node.name,))
+
+    def _probe_fire_samples(self) -> Dict[Tuple[str, str], int]:
+        """Pull source for ``vnt_agent_probe_fires_total``: each deployed
+        script's program run counter (plus fires from torn-down
+        deployments), keyed (node, probe label)."""
+        fires = dict(self._retired_fires)
+        for label, script in self.scripts.items():
+            key = (self.node.name, label)
+            fires[key] = fires.get(key, 0) + script.attachment.program.run_count
+        return fires
 
     # -- introspection --------------------------------------------------------------
 

@@ -26,6 +26,8 @@ from repro.ebpf.vm import ExecutionEnv
 from repro.net.addressing import IPv4Address
 from repro.net.packet import IPPROTO_UDP
 from repro.net.stack import KernelNode
+from repro.obs import contract as obs_contract
+from repro.obs.registry import MetricsRegistry
 
 DEFAULT_SYNC_PORT = 19997
 DEFAULT_SAMPLES = 100
@@ -81,9 +83,11 @@ class ClockSynchronizer:
         samples: int = DEFAULT_SAMPLES,
         port: int = DEFAULT_SYNC_PORT,
         interval_ns: int = 500_000,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.master_node = master_node
         self.target_node = target_node
+        self.registry = registry
         self.master_ip = master_ip
         self.target_ip = target_ip
         self.samples = samples
@@ -109,6 +113,13 @@ class ClockSynchronizer:
         self._received = 0
         self.result: Optional[SkewEstimate] = None
         self.on_done: Optional[Callable[[SkewEstimate], None]] = None
+
+    def programs(self) -> List:
+        """The four compiled probe programs (for eBPF cost accounting)."""
+        return [
+            point.attachment.program
+            for point in (self._t1, self._t2, self._t3, self._t4)
+        ]
 
     # -- exchange -------------------------------------------------------------
 
@@ -160,9 +171,24 @@ class ClockSynchronizer:
         self.result = SkewEstimate(
             skew_ns=skew, one_way_ns=best_owt, rtt_min_ns=rtt_min, samples=n
         )
+        if self.registry is not None:
+            self._export_round(self.result)
         self._teardown()
         if self.on_done is not None:
             self.on_done(self.result)
+
+    def _export_round(self, estimate: SkewEstimate) -> None:
+        """Export the round to the ``clocksync`` obs stage.  The residual
+        error gauge is Cristian's accuracy bound: the estimate is within
+        +/- the minimal one-way transmission time of the true skew."""
+        node = (self.target_node.name,)
+        self.registry.register_spec(obs_contract.CLOCKSYNC_ROUNDS).inc()
+        self.registry.register_spec(obs_contract.CLOCKSYNC_SKEW).set(
+            estimate.skew_ns, labels=node)
+        self.registry.register_spec(obs_contract.CLOCKSYNC_RESIDUAL).set(
+            estimate.one_way_ns, labels=node)
+        self.registry.register_spec(obs_contract.CLOCKSYNC_RTT_MIN).set(
+            estimate.rtt_min_ns, labels=node)
 
     def _teardown(self) -> None:
         for point in (self._t1, self._t2, self._t3, self._t4):

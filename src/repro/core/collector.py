@@ -1,18 +1,27 @@
 """The raw data collector (master node, §III-A/C).
 
 Receives record batches from agents, resolves tracepoint IDs to labels,
-applies per-node clock-skew alignment, and stores rows in the
-:class:`~repro.core.tracedb.TraceDB`.  Because agents report
+and stores rows in the :class:`~repro.core.tracedb.TraceDB`.  Per-node
+clock-skew alignment is *delegated to the database*: the collector
+hands raw records to :meth:`TraceDB.insert`, which aligns each
+timestamp using the per-node offsets registered via
+:meth:`TraceDB.set_clock_skew` (fed by
+:mod:`repro.core.clocksync`) and stores both the raw and aligned
+values.  Records ingested *before* a node's skew estimate lands keep a
+zero offset -- deploy tracing after synchronization (as the quickstart
+does) for aligned cross-node latencies.  Because agents report
 periodically, the collector doubles as a heartbeat monitor "to
 guarantee that the agents work properly".
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.records import TraceRecord
 from repro.core.tracedb import TraceDB
+from repro.obs import contract as obs_contract
+from repro.obs.registry import MetricsRegistry
 from repro.sim.engine import Engine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -22,7 +31,12 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class RawDataCollector:
     """Batch ingest + heartbeat monitoring."""
 
-    def __init__(self, engine: Engine, db: Optional[TraceDB] = None):
+    def __init__(
+        self,
+        engine: Engine,
+        db: Optional[TraceDB] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ):
         self.engine = engine
         self.db = db or TraceDB()
         self.agents: Dict[str, "Agent"] = {}
@@ -31,6 +45,19 @@ class RawDataCollector:
         self.batches_received = 0
         self.records_received = 0
         self.unknown_tracepoint_records = 0
+
+        self._m_batches = self._m_records = self._m_unknown = None
+        if registry is not None:
+            self._m_batches = registry.register_spec(obs_contract.COLLECTOR_BATCHES)
+            self._m_records = registry.register_spec(obs_contract.COLLECTOR_RECORDS)
+            self._m_unknown = registry.register_spec(obs_contract.COLLECTOR_UNKNOWN)
+            staleness = registry.register_spec(
+                obs_contract.COLLECTOR_HEARTBEAT_STALENESS)
+            staleness.add_callback(self._staleness_samples)
+            # The ingest-rate gauge is set by the StatsSampler (it owns
+            # the sampling window); registering it here keeps the whole
+            # collector stage present even before a sampler attaches.
+            registry.register_spec(obs_contract.COLLECTOR_INGEST_RATE)
 
     # -- registration ---------------------------------------------------------
 
@@ -45,14 +72,22 @@ class RawDataCollector:
     # -- ingest -----------------------------------------------------------------
 
     def receive_batch(self, node: str, records: List[TraceRecord]) -> None:
+        """Ingest one batch; timestamps are aligned by ``TraceDB.insert``
+        using the node's registered skew offset (see the module docstring)."""
         self.batches_received += 1
+        if self._m_batches is not None:
+            self._m_batches.inc()
         for record in records:
             label = self._labels.get(record.tracepoint_id)
             if label is None:
                 self.unknown_tracepoint_records += 1
+                if self._m_unknown is not None:
+                    self._m_unknown.inc()
                 label = f"tracepoint-{record.tracepoint_id}"
             self.db.insert(node, label, record)
             self.records_received += 1
+        if self._m_records is not None:
+            self._m_records.inc(len(records))
         self._last_heartbeat_ns[node] = self.engine.now
 
     def collect_all_offline(self) -> int:
@@ -68,13 +103,24 @@ class RawDataCollector:
         self._last_heartbeat_ns[node] = self.engine.now
 
     def stale_agents(self, max_age_ns: int) -> List[str]:
-        """Agents that have not reported within ``max_age_ns``."""
+        """Agents that have not reported within ``max_age_ns``.
+
+        The boundary is exclusive: an agent whose last report is exactly
+        ``max_age_ns`` old is still considered healthy."""
         now = self.engine.now
         return [
             node
             for node, last in self._last_heartbeat_ns.items()
             if now - last > max_age_ns
         ]
+
+    def _staleness_samples(self) -> Dict[Tuple[str], float]:
+        """Pull source for ``vnt_collector_heartbeat_staleness_ns``."""
+        now = self.engine.now
+        return {
+            (node,): float(now - last)
+            for node, last in self._last_heartbeat_ns.items()
+        }
 
     def __repr__(self) -> str:
         return (

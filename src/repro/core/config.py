@@ -141,6 +141,9 @@ class GlobalConfig:
     table_prefix: str = "vnettracer"
     ring_buffer_bytes: int = 64 * 1024
     flush_interval_ns: int = 10_000_000  # 10 ms
+    # Strict rings raise RingBufferFull on overflow instead of silently
+    # dropping (the drop counter still increments either way).
+    ring_strict: bool = False
     online_collection: bool = False
     heartbeat_interval_ns: int = 100_000_000  # 100 ms
     control_latency_ns: int = 200_000  # dispatcher -> agent delivery

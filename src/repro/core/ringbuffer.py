@@ -11,21 +11,33 @@ per-record copy).
 Size limits follow the paper's footnote: 32 bytes .. 128 KB - 16
 (kmalloc bounds).  When the buffer fills between flushes, further
 records are dropped and counted -- the visible symptom of an
-undersized buffer in the ablation bench.
+undersized buffer in the ablation bench.  With ``strict=True`` the
+buffer instead raises :class:`RingBufferFull` on overflow (the drop is
+still counted), for callers that must fail fast rather than lose
+records silently.  A record larger than ``capacity_bytes`` can never
+fit: each attempt counts one drop (and raises in strict mode) without
+wedging the buffer for subsequent records.
+
+When a :class:`~repro.obs.registry.MetricsRegistry` is supplied, the
+buffer exports the ``ringbuffer`` stage of the metrics contract
+(``docs/OBSERVABILITY.md``): appends, drops, flushes, flush batch
+sizes, and the occupancy high-water mark.
 """
 
 from __future__ import annotations
 
-from typing import Callable, List
+from typing import Callable, List, Optional
 
 from repro.core.config import GlobalConfig
+from repro.obs import contract as obs_contract
+from repro.obs.registry import MetricsRegistry
 from repro.sim.engine import Engine
 
 FLUSH_FIXED_COST_NS = 900  # remap + bookkeeping, independent of volume
 
 
 class RingBufferFull(Exception):
-    """Raised only in strict mode; normally fullness just drops."""
+    """Raised by ``append`` in strict mode; normally fullness just drops."""
 
 
 class TraceRingBuffer:
@@ -38,6 +50,9 @@ class TraceRingBuffer:
         flush_interval_ns: int,
         on_flush: Callable[[List[bytes]], None],
         name: str = "ringbuf",
+        strict: bool = False,
+        registry: Optional[MetricsRegistry] = None,
+        node: str = "",
     ):
         if not GlobalConfig.MIN_RING_BYTES <= capacity_bytes <= GlobalConfig.MAX_RING_BYTES:
             raise ValueError(
@@ -49,13 +64,29 @@ class TraceRingBuffer:
         self.flush_interval_ns = flush_interval_ns
         self.on_flush = on_flush
         self.name = name
+        self.strict = strict
+        self.node = node or name
         self._records: List[bytes] = []
         self._used_bytes = 0
         self.total_appended = 0
         self.total_dropped = 0
         self.flushes = 0
+        self.occupancy_hwm_bytes = 0
+        # Virtual time of the oldest buffered record's append; the age of
+        # the batch at flush time is the flush latency records experience.
+        self._first_append_ns: Optional[int] = None
+        self.last_flush_age_ns = 0
         self._timer = None
         self._running = False
+
+        self._m_appended = self._m_dropped = self._m_flushes = None
+        self._m_batch = self._m_hwm = None
+        if registry is not None:
+            self._m_appended = registry.register_spec(obs_contract.RING_APPENDED)
+            self._m_dropped = registry.register_spec(obs_contract.RING_DROPPED)
+            self._m_flushes = registry.register_spec(obs_contract.RING_FLUSHES)
+            self._m_batch = registry.register_spec(obs_contract.RING_FLUSH_BATCH)
+            self._m_hwm = registry.register_spec(obs_contract.RING_OCCUPANCY_HWM)
 
     # -- producer side (called by the perf-event consumer) ----------------
 
@@ -63,10 +94,25 @@ class TraceRingBuffer:
         size = len(record)
         if self._used_bytes + size > self.capacity_bytes:
             self.total_dropped += 1
+            if self._m_dropped is not None:
+                self._m_dropped.inc(labels=(self.node,))
+            if self.strict:
+                raise RingBufferFull(
+                    f"{self.name}: {size}B record does not fit "
+                    f"({self._used_bytes}/{self.capacity_bytes}B used)"
+                )
             return False
+        if self._first_append_ns is None:
+            self._first_append_ns = self.engine.now
         self._records.append(record)
         self._used_bytes += size
         self.total_appended += 1
+        if self._used_bytes > self.occupancy_hwm_bytes:
+            self.occupancy_hwm_bytes = self._used_bytes
+            if self._m_hwm is not None:
+                self._m_hwm.set_max(self._used_bytes, labels=(self.node,))
+        if self._m_appended is not None:
+            self._m_appended.inc(labels=(self.node,))
         return True
 
     @property
@@ -100,6 +146,11 @@ class TraceRingBuffer:
         batch, self._records = self._records, []
         self._used_bytes = 0
         self.flushes += 1
+        self.last_flush_age_ns = self.engine.now - (self._first_append_ns or 0)
+        self._first_append_ns = None
+        if self._m_flushes is not None:
+            self._m_flushes.inc(labels=(self.node,))
+            self._m_batch.observe(len(batch), labels=(self.node,))
         self.on_flush(batch)
         return len(batch)
 

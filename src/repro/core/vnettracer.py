@@ -38,20 +38,41 @@ from repro.core.tracedb import TraceDB
 from repro.net.addressing import IPv4Address
 from repro.net.stack import KernelNode
 from repro.net.traceid import enable_trace_ids
+from repro.obs import contract as obs_contract
+from repro.obs.instrument import register_ebpf_metrics
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sampler import StatsSampler
 from repro.sim.engine import Engine
 
 
 class VNetTracer:
-    """End-to-end tracing framework entry point."""
+    """End-to-end tracing framework entry point.
 
-    def __init__(self, engine: Engine, master_name: str = "master"):
+    Every tracer owns a self-observability registry (``self.obs``,
+    see :mod:`repro.obs`): the collector, agents, ring buffers, clock
+    synchronizers, and the eBPF VM all export into it per the contract
+    in ``docs/OBSERVABILITY.md``.  Call :meth:`attach_stats_sampler`
+    to snapshot it periodically and :meth:`pipeline_health` for a
+    rendered report.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        master_name: str = "master",
+        registry: Optional[MetricsRegistry] = None,
+    ):
         self.engine = engine
+        self.obs = registry if registry is not None else MetricsRegistry()
         self.db = TraceDB()
-        self.collector = RawDataCollector(engine, self.db)
+        self.collector = RawDataCollector(engine, self.db, registry=self.obs)
         self.dispatcher = ControlDataDispatcher(engine, master_name)
         self.agents: Dict[str, Agent] = {}
         self.active_spec: Optional[TracingSpec] = None
         self.clock_estimates: Dict[str, SkewEstimate] = {}
+        self.sampler: Optional[StatsSampler] = None
+        self._sync_programs: List = []
+        register_ebpf_metrics(self.obs, self._iter_programs)
 
     # -- setup ------------------------------------------------------------
 
@@ -61,7 +82,7 @@ class VNetTracer:
             return self.agents[node.name]
         if enable_packet_ids:
             enable_trace_ids(node)
-        agent = Agent(node, self.collector)
+        agent = Agent(node, self.collector, registry=self.obs)
         self.agents[node.name] = agent
         self.dispatcher.register_agent(agent)
         return agent
@@ -86,7 +107,9 @@ class VNetTracer:
             target_ip,
             target_nic_hook,
             samples=samples,
+            registry=self.obs,
         )
+        self._sync_programs.extend(sync.programs())
 
         def record(estimate: SkewEstimate) -> None:
             self.clock_estimates[target_node.name] = estimate
@@ -152,6 +175,36 @@ class VNetTracer:
             for script in agent.scripts.values():
                 total += script.attachment.program.total_cost_ns
         return total
+
+    # -- self-observability ------------------------------------------------------
+
+    def _iter_programs(self):
+        """Every eBPF program this pipeline loaded: the agents' tracing
+        scripts (including torn-down ones) and the clock-sync probes."""
+        for agent in self.agents.values():
+            for program in agent.loaded_programs:
+                yield program
+        for program in self._sync_programs:
+            yield program
+
+    def attach_stats_sampler(self, interval_ns: int = 50_000_000) -> StatsSampler:
+        """Start periodic registry snapshots on the engine (idempotent).
+
+        Also wires the sampler-derived collector ingest-rate gauge."""
+        if self.sampler is not None:
+            return self.sampler
+        self.sampler = StatsSampler(self.engine, self.obs, interval_ns=interval_ns)
+        rate_gauge = self.obs.register_spec(obs_contract.COLLECTOR_INGEST_RATE)
+        self.sampler.add_rate_gauge(
+            rate_gauge, obs_contract.COLLECTOR_RECORDS.name)
+        self.sampler.start()
+        return self.sampler
+
+    def pipeline_health(self) -> str:
+        """The pipeline-health report (see analysis.reports)."""
+        from repro.analysis.reports import pipeline_health_report
+
+        return pipeline_health_report(self.obs, sampler=self.sampler)
 
     def __repr__(self) -> str:
         return f"<VNetTracer agents={sorted(self.agents)} rows={self.db.rows_inserted}>"

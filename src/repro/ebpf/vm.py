@@ -144,6 +144,13 @@ class BPFProgram:
         self.loaded = False
         self.run_count = 0
         self.total_cost_ns = 0
+        # Self-observability accumulators (exported via repro.obs):
+        # instructions fetched, per-helper invocation totals, and the
+        # dispatch split between the compiled-closure and interpreter paths.
+        self.total_insns_executed = 0
+        self.helper_call_totals: Dict[str, int] = {}
+        self.jit_runs = 0
+        self.interp_runs = 0
         self._steps = None  # populated by load() when jit is on
 
     # -- load-time -----------------------------------------------------------
@@ -168,6 +175,19 @@ class BPFProgram:
     @property
     def size(self) -> int:
         return len(self.insns)
+
+    @property
+    def mode(self) -> str:
+        """Dispatch mode executions use: pre-decoded closures or the
+        interpreter loop (the obs layer's jit-vs-interpreter split)."""
+        return "jit" if self._steps is not None else "interpreter"
+
+    def _account(self, executed: int, helper_calls: Dict[str, int]) -> None:
+        self.total_insns_executed += executed
+        for helper, count in helper_calls.items():
+            self.helper_call_totals[helper] = (
+                self.helper_call_totals.get(helper, 0) + count
+            )
 
     # -- run-time --------------------------------------------------------------
 
@@ -258,6 +278,8 @@ class BPFProgram:
 
         cost_ns += executed * per_insn
         self.run_count += 1
+        self.interp_runs += 1
+        self._account(executed, state.helper_calls)
         total = int(round(cost_ns))
         self.total_cost_ns += total
         return ExecResult(regs[isa.R0], total, executed, state.helper_calls)
@@ -280,6 +302,8 @@ class BPFProgram:
             raise ExecutionError(f"{self.name}: helper error: {exc}")
         total = int(round(executed * JIT_NS_PER_INSN + state.helper_cost_ns))
         self.run_count += 1
+        self.jit_runs += 1
+        self._account(executed, state.helper_calls)
         self.total_cost_ns += total
         return ExecResult(regs[isa.R0], total, executed, state.helper_calls)
 

@@ -150,7 +150,7 @@ def run_case(
         tracer.add_agent(scene.host.node)
         tracer.add_agent(server_vm.node)
         labels = {
-            "send": f"vm0:udp_send_skb",
+            "send": "vm0:udp_send_skb",
             "ovs_in": "host:vnet0",
             "ovs_out": f"host:vnet{server_index}",
             "recv": "server:skb_copy",

@@ -1,0 +1,57 @@
+"""Self-observability for the tracing pipeline.
+
+An in-band tracer is only trustworthy if it accounts for its *own*
+cost (see Nahida, arXiv:2311.09032, and Minions, arXiv:1405.7143).
+This package makes every pipeline stage measurable:
+
+* :mod:`repro.obs.registry` -- counters / gauges / fixed-bucket
+  histograms, one :class:`MetricsRegistry` per pipeline;
+* :mod:`repro.obs.contract` -- the declared set of exported metrics
+  (mirrored by ``docs/OBSERVABILITY.md``; a test diffs the two);
+* :mod:`repro.obs.sampler` -- :class:`StatsSampler`, periodic registry
+  snapshots on the simulation engine (virtual time only);
+* :mod:`repro.obs.export` -- JSON and Prometheus-text exporters;
+* :mod:`repro.obs.instrument` -- pull-based eBPF VM/JIT metrics;
+* :mod:`repro.obs.scenario` -- the quickstart scenario behind the
+  ``repro stats`` CLI subcommand (imported lazily; it pulls in the
+  full stack).
+
+Every :class:`~repro.core.vnettracer.VNetTracer` owns a registry
+(``tracer.obs``); ``tracer.attach_stats_sampler()`` starts periodic
+sampling and ``tracer.pipeline_health()`` renders the report.
+"""
+
+from repro.obs.contract import ALL_METRICS, ALL_STAGES
+from repro.obs.export import (
+    prometheus_text,
+    series_json,
+    snapshot_dict,
+    snapshot_json,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramData,
+    MetricError,
+    MetricSpec,
+    MetricsRegistry,
+)
+from repro.obs.sampler import StatsSampler
+
+__all__ = [
+    "ALL_METRICS",
+    "ALL_STAGES",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramData",
+    "MetricError",
+    "MetricSpec",
+    "MetricsRegistry",
+    "StatsSampler",
+    "prometheus_text",
+    "series_json",
+    "snapshot_dict",
+    "snapshot_json",
+]

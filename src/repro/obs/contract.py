@@ -1,0 +1,177 @@
+"""The metrics contract: every metric the pipeline exports, in one place.
+
+Instrumented components register their metrics *from these specs* (never
+ad hoc), ``docs/OBSERVABILITY.md`` documents the same list, and
+``tests/test_obs_pipeline.py`` diffs doc against contract so the two
+cannot drift.  Add a metric here first, then instrument, then document.
+
+Stages mirror the pipeline of DESIGN.md §3: ``ringbuffer`` (the
+in-kernel record buffer), ``agent`` (the per-node daemon), ``collector``
+(master-side ingest + heartbeats), ``clocksync`` (Cristian rounds),
+``ebpf`` (the VM/JIT executing tracing scripts), ``sampler`` (the
+observability layer itself).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.obs.registry import MetricSpec
+
+STAGE_RINGBUFFER = "ringbuffer"
+STAGE_AGENT = "agent"
+STAGE_COLLECTOR = "collector"
+STAGE_CLOCKSYNC = "clocksync"
+STAGE_EBPF = "ebpf"
+STAGE_SAMPLER = "sampler"
+
+# Fixed bucket bounds (upper edges; +Inf is implicit).  Batch sizes are
+# records per flush; latencies are nanoseconds of virtual time.
+FLUSH_BATCH_BUCKETS: Tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 4096)
+FLUSH_LATENCY_BUCKETS_NS: Tuple[int, ...] = (
+    100_000, 300_000, 1_000_000, 3_000_000, 10_000_000, 30_000_000, 100_000_000,
+)
+
+# -- ring buffer (core/ringbuffer.py) ----------------------------------------
+
+RING_APPENDED = MetricSpec(
+    "vnt_ring_appended_total", "counter",
+    "Trace records accepted into the kernel ring buffer.",
+    "records", STAGE_RINGBUFFER, ("node",))
+RING_DROPPED = MetricSpec(
+    "vnt_ring_dropped_total", "counter",
+    "Trace records dropped because the ring buffer was full (or the "
+    "record alone exceeded its capacity).",
+    "records", STAGE_RINGBUFFER, ("node",))
+RING_FLUSHES = MetricSpec(
+    "vnt_ring_flushes_total", "counter",
+    "Non-empty ring buffer drains to the agent.",
+    "flushes", STAGE_RINGBUFFER, ("node",))
+RING_FLUSH_BATCH = MetricSpec(
+    "vnt_ring_flush_batch_records", "histogram",
+    "Records moved per ring buffer flush.",
+    "records", STAGE_RINGBUFFER, ("node",), FLUSH_BATCH_BUCKETS)
+RING_OCCUPANCY_HWM = MetricSpec(
+    "vnt_ring_occupancy_hwm_bytes", "gauge",
+    "High-water mark of ring buffer occupancy since deployment.",
+    "bytes", STAGE_RINGBUFFER, ("node",))
+
+# -- agent (core/agent.py) ---------------------------------------------------
+
+AGENT_PROBE_FIRES = MetricSpec(
+    "vnt_agent_probe_fires_total", "counter",
+    "Times each deployed tracing script executed at its hook "
+    "(pulled from the eBPF program's run counter).",
+    "fires", STAGE_AGENT, ("node", "probe"))
+AGENT_FLUSH_LATENCY = MetricSpec(
+    "vnt_agent_flush_latency_ns", "histogram",
+    "Age of the oldest buffered record at flush time (how long records "
+    "wait in the kernel before reaching the agent).",
+    "ns", STAGE_AGENT, ("node",), FLUSH_LATENCY_BUCKETS_NS)
+AGENT_BATCHES_SENT = MetricSpec(
+    "vnt_agent_batches_sent_total", "counter",
+    "Record batches shipped to the collector (online or offline).",
+    "batches", STAGE_AGENT, ("node",))
+AGENT_RECORDS_FORWARDED = MetricSpec(
+    "vnt_agent_records_forwarded_total", "counter",
+    "Trace records shipped to the collector.",
+    "records", STAGE_AGENT, ("node",))
+AGENT_BPF_LOAD_NS = MetricSpec(
+    "vnt_agent_bpf_load_ns_total", "counter",
+    "Simulated nanoseconds spent in bpf() load (verification + JIT "
+    "compile) on each node's CPU 0.",
+    "ns", STAGE_AGENT, ("node",))
+
+# -- collector (core/collector.py) -------------------------------------------
+
+COLLECTOR_BATCHES = MetricSpec(
+    "vnt_collector_batches_received_total", "counter",
+    "Record batches ingested by the raw data collector.",
+    "batches", STAGE_COLLECTOR)
+COLLECTOR_RECORDS = MetricSpec(
+    "vnt_collector_records_received_total", "counter",
+    "Trace records ingested into the trace database.",
+    "records", STAGE_COLLECTOR)
+COLLECTOR_UNKNOWN = MetricSpec(
+    "vnt_collector_unknown_tracepoint_records_total", "counter",
+    "Ingested records whose tracepoint ID had no registered label.",
+    "records", STAGE_COLLECTOR)
+COLLECTOR_HEARTBEAT_STALENESS = MetricSpec(
+    "vnt_collector_heartbeat_staleness_ns", "gauge",
+    "Virtual nanoseconds since each agent last reported (batch or "
+    "heartbeat); evaluated at collection time.",
+    "ns", STAGE_COLLECTOR, ("node",))
+COLLECTOR_INGEST_RATE = MetricSpec(
+    "vnt_collector_ingest_rate_per_s", "gauge",
+    "Collector ingest rate over the last sampler interval "
+    "(derived by the stats sampler from the records counter).",
+    "records/s", STAGE_COLLECTOR)
+
+# -- clock sync (core/clocksync.py) ------------------------------------------
+
+CLOCKSYNC_ROUNDS = MetricSpec(
+    "vnt_clocksync_rounds_total", "counter",
+    "Completed Cristian synchronization rounds.",
+    "rounds", STAGE_CLOCKSYNC)
+CLOCKSYNC_SKEW = MetricSpec(
+    "vnt_clocksync_skew_estimate_ns", "gauge",
+    "Latest estimated clock skew to ADD to the node's timestamps.",
+    "ns", STAGE_CLOCKSYNC, ("node",))
+CLOCKSYNC_RESIDUAL = MetricSpec(
+    "vnt_clocksync_residual_error_ns", "gauge",
+    "Residual error bound of the latest round: Cristian's estimate is "
+    "accurate to +/- the minimal one-way transmission time.",
+    "ns", STAGE_CLOCKSYNC, ("node",))
+CLOCKSYNC_RTT_MIN = MetricSpec(
+    "vnt_clocksync_rtt_min_ns", "gauge",
+    "Minimal round-trip time observed in the latest round.",
+    "ns", STAGE_CLOCKSYNC, ("node",))
+
+# -- eBPF VM / JIT (ebpf/vm.py, pulled via the tracer) ------------------------
+
+EBPF_RUNS = MetricSpec(
+    "vnt_ebpf_runs_total", "counter",
+    "eBPF program executions, split by dispatch mode "
+    "(pre-decoded JIT closures vs. the interpreter loop).",
+    "runs", STAGE_EBPF, ("mode",))
+EBPF_INSNS = MetricSpec(
+    "vnt_ebpf_insns_executed_total", "counter",
+    "eBPF instructions executed across all pipeline programs.",
+    "instructions", STAGE_EBPF, ("mode",))
+EBPF_HELPER_CALLS = MetricSpec(
+    "vnt_ebpf_helper_calls_total", "counter",
+    "Helper function invocations across all pipeline programs.",
+    "calls", STAGE_EBPF, ("helper",))
+EBPF_EXEC_NS = MetricSpec(
+    "vnt_ebpf_exec_ns_total", "counter",
+    "Simulated nanoseconds charged for eBPF program execution "
+    "(the in-band probe overhead the paper measures).",
+    "ns", STAGE_EBPF)
+EBPF_PROGRAMS_LOADED = MetricSpec(
+    "vnt_ebpf_programs_loaded", "gauge",
+    "eBPF programs loaded by this pipeline so far (tracing scripts "
+    "and clock-sync probes; survives teardown for accounting).",
+    "programs", STAGE_EBPF)
+
+# -- the sampler itself (obs/sampler.py) -------------------------------------
+
+SAMPLER_SAMPLES = MetricSpec(
+    "vnt_stats_samples_total", "counter",
+    "Registry snapshots taken by the stats sampler.",
+    "samples", STAGE_SAMPLER)
+
+ALL_METRICS: Tuple[MetricSpec, ...] = (
+    RING_APPENDED, RING_DROPPED, RING_FLUSHES, RING_FLUSH_BATCH, RING_OCCUPANCY_HWM,
+    AGENT_PROBE_FIRES, AGENT_FLUSH_LATENCY, AGENT_BATCHES_SENT,
+    AGENT_RECORDS_FORWARDED, AGENT_BPF_LOAD_NS,
+    COLLECTOR_BATCHES, COLLECTOR_RECORDS, COLLECTOR_UNKNOWN,
+    COLLECTOR_HEARTBEAT_STALENESS, COLLECTOR_INGEST_RATE,
+    CLOCKSYNC_ROUNDS, CLOCKSYNC_SKEW, CLOCKSYNC_RESIDUAL, CLOCKSYNC_RTT_MIN,
+    EBPF_RUNS, EBPF_INSNS, EBPF_HELPER_CALLS, EBPF_EXEC_NS, EBPF_PROGRAMS_LOADED,
+    SAMPLER_SAMPLES,
+)
+
+ALL_STAGES: Tuple[str, ...] = (
+    STAGE_RINGBUFFER, STAGE_AGENT, STAGE_COLLECTOR, STAGE_CLOCKSYNC,
+    STAGE_EBPF, STAGE_SAMPLER,
+)

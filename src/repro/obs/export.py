@@ -1,0 +1,110 @@
+"""Registry exporters: JSON snapshots and Prometheus text format.
+
+Both render the *entire* registry (every metric in
+:mod:`repro.obs.contract` that has been registered), so an operator --
+or a test -- can diff what the pipeline actually exported against the
+documented contract.  Timestamps are virtual nanoseconds supplied by
+the caller; nothing here reads a wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.obs.registry import Histogram, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.obs.sampler import StatsSampler
+
+
+# -- JSON --------------------------------------------------------------------
+
+def snapshot_dict(registry: MetricsRegistry, t_ns: Optional[int] = None) -> Dict:
+    """The registry as one JSON-able dict, keyed by metric name."""
+    metrics: Dict[str, Dict] = {}
+    for metric in registry.metrics():
+        spec = metric.spec
+        entry: Dict = {
+            "type": spec.kind,
+            "help": spec.help,
+            "unit": spec.unit,
+            "stage": spec.stage,
+            "label_names": list(spec.label_names),
+        }
+        if isinstance(metric, Histogram):
+            entry["buckets"] = list(spec.buckets)
+            entry["values"] = [
+                {
+                    "labels": dict(zip(spec.label_names, key)),
+                    "bucket_counts": list(data.bucket_counts),
+                    "sum": data.sum,
+                    "count": data.count,
+                }
+                for key, data in metric.samples()
+            ]
+        else:
+            entry["values"] = [
+                {"labels": dict(zip(spec.label_names, key)), "value": value}
+                for key, value in metric.samples()
+            ]
+        metrics[spec.name] = entry
+    out: Dict = {"metrics": metrics}
+    if t_ns is not None:
+        out["t_ns"] = int(t_ns)
+    return out
+
+
+def snapshot_json(registry: MetricsRegistry, t_ns: Optional[int] = None,
+                  indent: Optional[int] = 2) -> str:
+    return json.dumps(snapshot_dict(registry, t_ns), indent=indent, sort_keys=True)
+
+
+def series_json(sampler: "StatsSampler", indent: Optional[int] = 2) -> str:
+    """The sampler's accumulated time-series rows as JSON."""
+    return json.dumps(
+        {"interval_ns": sampler.interval_ns, "rows": sampler.rows},
+        indent=indent, sort_keys=True,
+    )
+
+
+# -- Prometheus text format --------------------------------------------------
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_labels(names, values, extra: Optional[List[str]] = None) -> str:
+    pairs = [f'{n}="{_escape_label(v)}"' for n, v in zip(names, values)]
+    pairs += extra or []
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _format_value(value: float) -> str:
+    return str(int(value)) if float(value).is_integer() else repr(float(value))
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """The registry in the Prometheus exposition (text) format."""
+    lines: List[str] = []
+    for metric in registry.metrics():
+        spec = metric.spec
+        lines.append(f"# HELP {spec.name} {spec.help}")
+        lines.append(f"# TYPE {spec.name} {spec.kind}")
+        if isinstance(metric, Histogram):
+            for key, data in metric.samples():
+                cumulative = 0
+                for bound, count in zip(spec.buckets, data.bucket_counts):
+                    cumulative += count
+                    labels = _format_labels(spec.label_names, key, [f'le="{bound}"'])
+                    lines.append(f"{spec.name}_bucket{labels} {cumulative}")
+                labels = _format_labels(spec.label_names, key, ['le="+Inf"'])
+                lines.append(f"{spec.name}_bucket{labels} {data.count}")
+                suffix = _format_labels(spec.label_names, key)
+                lines.append(f"{spec.name}_sum{suffix} {_format_value(data.sum)}")
+                lines.append(f"{spec.name}_count{suffix} {data.count}")
+        else:
+            for key, value in metric.samples():
+                suffix = _format_labels(spec.label_names, key)
+                lines.append(f"{spec.name}{suffix} {_format_value(value)}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,58 @@
+"""Pull-based instrumentation helpers.
+
+The eBPF VM already maintains per-program counters on the hot path
+(:attr:`BPFProgram.run_count`, :attr:`~BPFProgram.total_insns_executed`,
+:attr:`~BPFProgram.helper_call_totals`, :attr:`~BPFProgram.total_cost_ns`);
+re-counting them through the registry per probe firing would itself be
+overhead.  Instead the tracer registers *callbacks* here that aggregate
+program counters only when someone collects the registry -- the
+observability layer charges the hot path nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Tuple
+
+from repro.obs import contract
+from repro.obs.registry import MetricsRegistry
+
+# Yields every eBPF program the pipeline has loaded (tracing scripts and
+# clock-sync probes), including ones whose attachment was torn down --
+# counters must stay monotone across redeployments.
+ProgramsFn = Callable[[], Iterable]
+
+
+def register_ebpf_metrics(registry: MetricsRegistry, programs_fn: ProgramsFn) -> None:
+    """Register the ``ebpf`` stage's pull metrics over ``programs_fn``."""
+
+    def by_mode(attr: str) -> Dict[Tuple[str, ...], float]:
+        totals: Dict[Tuple[str, ...], float] = {}
+        for program in programs_fn():
+            key = (program.mode,)
+            totals[key] = totals.get(key, 0.0) + getattr(program, attr)
+        return totals
+
+    def runs_by_mode() -> Dict[Tuple[str, ...], float]:
+        totals = {("jit",): 0.0, ("interpreter",): 0.0}
+        for program in programs_fn():
+            totals[("jit",)] += program.jit_runs
+            totals[("interpreter",)] += program.interp_runs
+        return totals
+
+    registry.register_spec(contract.EBPF_RUNS).add_callback(runs_by_mode)
+    registry.register_spec(contract.EBPF_INSNS).add_callback(
+        lambda: by_mode("total_insns_executed"))
+    registry.register_spec(contract.EBPF_EXEC_NS).add_callback(
+        lambda: sum(p.total_cost_ns for p in programs_fn()))
+    registry.register_spec(contract.EBPF_PROGRAMS_LOADED).add_callback(
+        lambda: sum(1 for _ in programs_fn()))
+
+    def helper_totals() -> Dict[Tuple[str, ...], float]:
+        totals: Dict[Tuple[str, ...], float] = {}
+        for program in programs_fn():
+            for helper, count in program.helper_call_totals.items():
+                key = (helper,)
+                totals[key] = totals.get(key, 0.0) + count
+        return totals
+
+    registry.register_spec(contract.EBPF_HELPER_CALLS).add_callback(helper_totals)

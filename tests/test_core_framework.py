@@ -174,6 +174,46 @@ class TestOnlineCollection:
         assert tracer.collector.batches_received >= 2
 
 
+class TestCollectorSemantics:
+    def test_stale_boundary_is_exclusive_at_max_age(self, engine):
+        """An agent whose last report is *exactly* max_age_ns old is
+        still healthy; one nanosecond older and it is stale."""
+        collector = RawDataCollector(engine)
+        collector.heartbeat("n1")  # t=0
+        engine.run(until=1_000_000)
+        assert collector.stale_agents(1_000_000) == []
+        assert collector.stale_agents(999_999) == ["n1"]
+
+    def test_receive_batch_delegates_alignment_to_db(self, engine):
+        """Regression pin: the collector stores *raw* timestamps; skew
+        alignment happens inside TraceDB.insert via set_clock_skew.
+        Records ingested before a node's estimate lands keep zero
+        offset (see the collector module docstring)."""
+        from repro.core.records import TraceRecord
+        from repro.core.tracedb import TraceDB
+
+        db = TraceDB()
+        collector = RawDataCollector(engine, db)
+        collector.register_labels({1: "a"})
+
+        collector.receive_batch("n2", [TraceRecord(7, 1, 100, 64, 0)])
+        db.set_clock_skew("n2", 500)
+        collector.receive_batch("n2", [TraceRecord(8, 1, 100, 64, 0)])
+
+        before, after = db.rows_for_trace(7)[0], db.rows_for_trace(8)[0]
+        assert before.timestamp_ns == 100  # pre-sync: zero offset
+        assert after.timestamp_ns == 600  # aligned by the DB, not the collector
+        assert before.raw_timestamp_ns == after.raw_timestamp_ns == 100
+
+    def test_unknown_tracepoints_counted_not_lost(self, engine):
+        from repro.core.records import TraceRecord
+
+        collector = RawDataCollector(engine)
+        collector.receive_batch("n1", [TraceRecord(1, 99, 10, 64, 0)])
+        assert collector.unknown_tracepoint_records == 1
+        assert collector.db.count("tracepoint-99") == 1
+
+
 class TestHeartbeats:
     def test_agents_heartbeat_and_staleness(self, engine, two_nodes):
         node_a, node_b, ip_a, ip_b = two_nodes

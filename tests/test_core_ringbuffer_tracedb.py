@@ -3,8 +3,10 @@
 import pytest
 
 from repro.core.records import RECORD_BYTES, TraceRecord
-from repro.core.ringbuffer import TraceRingBuffer
+from repro.core.ringbuffer import RingBufferFull, TraceRingBuffer
 from repro.core.tracedb import TraceDB
+from repro.obs import contract
+from repro.obs.registry import MetricsRegistry
 from repro.sim.engine import Engine
 
 
@@ -62,6 +64,77 @@ class TestRingBuffer:
         assert not ring.append(b"x" * RECORD_BYTES)
         ring.flush()
         assert ring.append(b"x" * RECORD_BYTES)
+
+
+class TestStrictMode:
+    def test_overflow_raises_and_still_counts(self, engine):
+        ring = TraceRingBuffer(engine, 48, 1000, lambda b: None, strict=True)
+        assert ring.append(b"x" * RECORD_BYTES)
+        assert ring.append(b"x" * RECORD_BYTES)
+        with pytest.raises(RingBufferFull):
+            ring.append(b"x" * RECORD_BYTES)
+        assert ring.total_dropped == 1
+        # Buffered records are intact; the ring keeps working.
+        assert ring.used_bytes == 2 * RECORD_BYTES
+        assert ring.flush() == 2
+        assert ring.append(b"x" * RECORD_BYTES)
+
+    def test_default_mode_never_raises(self, engine):
+        ring = TraceRingBuffer(engine, 48, 1000, lambda b: None)
+        for _ in range(5):
+            ring.append(b"x" * RECORD_BYTES)
+        assert ring.total_dropped == 3
+
+
+class TestOversizeRecord:
+    def test_record_larger_than_ring_drops_per_attempt(self, engine):
+        flushed = []
+        ring = TraceRingBuffer(engine, 32, 1000, flushed.extend)
+        giant = b"x" * 64  # exceeds capacity_bytes outright
+        assert not ring.append(giant)
+        assert not ring.append(giant)
+        assert ring.total_dropped == 2
+        # The ring never wedges: fitting records still flow afterwards.
+        assert ring.append(b"y" * RECORD_BYTES)
+        assert ring.flush() == 1
+        assert flushed == [b"y" * RECORD_BYTES]
+        assert not ring.append(giant)
+        assert ring.total_dropped == 3
+
+    def test_oversize_raises_in_strict_mode(self, engine):
+        ring = TraceRingBuffer(engine, 32, 1000, lambda b: None, strict=True)
+        with pytest.raises(RingBufferFull):
+            ring.append(b"x" * 64)
+        assert ring.total_dropped == 1
+        assert ring.append(b"y" * RECORD_BYTES)  # still usable
+
+
+class TestRingMetrics:
+    def test_ring_exports_its_contract_stage(self, engine):
+        reg = MetricsRegistry()
+        ring = TraceRingBuffer(engine, 48, 1000, lambda b: None,
+                               registry=reg, node="n1")
+        for _ in range(3):
+            ring.append(b"x" * RECORD_BYTES)
+        ring.flush()
+        assert reg.get(contract.RING_APPENDED.name).value(("n1",)) == 2
+        assert reg.get(contract.RING_DROPPED.name).value(("n1",)) == 1
+        assert reg.get(contract.RING_FLUSHES.name).value(("n1",)) == 1
+        assert reg.get(contract.RING_OCCUPANCY_HWM.name).value(("n1",)) == 48
+        batch = reg.get(contract.RING_FLUSH_BATCH.name).data(("n1",))
+        assert batch.count == 1
+        assert batch.sum == 2
+
+    def test_hwm_survives_flush(self, engine):
+        reg = MetricsRegistry()
+        ring = TraceRingBuffer(engine, 96, 1000, lambda b: None,
+                               registry=reg, node="n1")
+        for _ in range(3):
+            ring.append(b"x" * RECORD_BYTES)
+        ring.flush()
+        ring.append(b"x" * RECORD_BYTES)
+        hwm = reg.get(contract.RING_OCCUPANCY_HWM.name)
+        assert hwm.value(("n1",)) == 3 * RECORD_BYTES
 
 
 class TestTraceRecord:

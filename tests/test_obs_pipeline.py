@@ -1,0 +1,192 @@
+"""The observability layer wired into the real pipeline.
+
+Acceptance properties from the metrics-contract work:
+
+* after the quickstart scenario, every instrumented stage exports
+  nonzero metrics through every exporter;
+* ``docs/OBSERVABILITY.md`` lists every exported metric name -- this
+  file diffs the doc against :data:`repro.obs.contract.ALL_METRICS`
+  so documentation and code cannot drift.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.core import FilterRule, TracepointSpec, TracingSpec, VNetTracer
+from repro.net.packet import IPPROTO_UDP
+from repro.obs import contract
+from repro.obs.export import prometheus_text, snapshot_dict
+from repro.obs.scenario import run_quickstart_scenario
+
+DOC_PATH = Path(__file__).resolve().parent.parent / "docs" / "OBSERVABILITY.md"
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    """One short quickstart run shared by every assertion below."""
+    return run_quickstart_scenario(seed=42, duration_ns=250_000_000)
+
+
+class TestQuickstartScenario:
+    def test_traffic_actually_flowed(self, scenario):
+        assert scenario.client.sent > 0
+        assert scenario.client.received > 0
+        assert scenario.tracer.db.rows_inserted > 0
+
+    def test_whole_contract_registered(self, scenario):
+        assert scenario.registry.names() == sorted(
+            spec.name for spec in contract.ALL_METRICS
+        )
+
+    def test_every_stage_emits_nonzero(self, scenario):
+        by_stage = {}
+        for metric in scenario.registry.metrics():
+            by_stage.setdefault(metric.spec.stage, 0.0)
+            by_stage[metric.spec.stage] += abs(metric.total())
+        assert set(by_stage) == set(contract.ALL_STAGES)
+        zero_stages = [stage for stage, total in by_stage.items() if total == 0]
+        assert zero_stages == []
+
+    def test_records_conserved_ring_to_collector(self, scenario):
+        reg = scenario.registry
+        appended = reg.total("vnt_ring_appended_total")
+        assert appended > 0
+        assert reg.total("vnt_ring_dropped_total") == 0
+        assert reg.total("vnt_agent_records_forwarded_total") == appended
+        assert reg.total("vnt_collector_records_received_total") == appended
+        assert reg.total("vnt_collector_unknown_tracepoint_records_total") == 0
+
+    def test_skew_gauge_tracks_configured_offset(self, scenario):
+        # host2 boots +1.5 ms ahead; the correction to ADD is ~-1.5 ms.
+        skew = scenario.registry.get("vnt_clocksync_skew_estimate_ns")
+        estimate = skew.value(("host2",))
+        assert -1_600_000 < estimate < -1_400_000
+        residual = scenario.registry.get("vnt_clocksync_residual_error_ns")
+        assert 0 < residual.value(("host2",)) < 1_000_000
+
+    def test_ebpf_split_by_dispatch_mode(self, scenario):
+        runs = scenario.registry.get("vnt_ebpf_runs_total")
+        # Default config JITs tracing scripts; both children exist.
+        assert runs.value(("jit",)) > 0
+        assert runs.value(("interpreter",)) == 0
+        assert scenario.registry.total("vnt_ebpf_programs_loaded") == 8
+
+    def test_sampler_rows_cover_the_run(self, scenario):
+        rows = scenario.sampler.rows
+        assert len(rows) >= 3
+        assert rows[-1]["t_ns"] == scenario.engine.now
+        # The derived ingest-rate gauge fired at least once mid-run.
+        peak = max(
+            row["values"].get("vnt_collector_ingest_rate_per_s", 0.0)
+            for row in rows
+        )
+        assert peak > 0
+
+    def test_json_exporter_nonzero_per_stage(self, scenario):
+        snap = snapshot_dict(scenario.registry, t_ns=scenario.engine.now)
+        assert snap["t_ns"] == scenario.engine.now
+        stage_totals = {}
+        for name, entry in snap["metrics"].items():
+            total = sum(
+                value.get("value", value.get("count", 0.0)) or 0.0
+                for value in entry["values"]
+            )
+            stage_totals.setdefault(entry["stage"], 0.0)
+            stage_totals[entry["stage"]] += abs(total)
+        assert all(total > 0 for total in stage_totals.values())
+
+    def test_prometheus_exporter_nonzero_per_stage(self, scenario):
+        text = prometheus_text(scenario.registry)
+        specs_by_name = {spec.name: spec for spec in contract.ALL_METRICS}
+        nonzero_stages = set()
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name_part, value = line.rsplit(" ", 1)
+            base = name_part.split("{", 1)[0]
+            for suffix in ("_bucket", "_sum", "_count"):
+                if base not in specs_by_name and base.endswith(suffix):
+                    base = base[: -len(suffix)]
+            if base in specs_by_name and float(value) != 0:
+                nonzero_stages.add(specs_by_name[base].stage)
+        assert nonzero_stages == set(contract.ALL_STAGES)
+
+    def test_pipeline_health_report_renders(self, scenario):
+        report = scenario.tracer.pipeline_health()
+        for spec in contract.ALL_METRICS:
+            assert spec.name in report
+        assert "stats series:" in report
+
+
+class TestDocContract:
+    def test_doc_lists_every_exported_metric(self):
+        doc = DOC_PATH.read_text()
+        documented = set(re.findall(r"`(vnt_[a-z0-9_]+)`", doc))
+        exported = {spec.name for spec in contract.ALL_METRICS}
+        missing_from_doc = exported - documented
+        assert not missing_from_doc, (
+            f"metrics exported but not documented in {DOC_PATH.name}: "
+            f"{sorted(missing_from_doc)}"
+        )
+        stale_in_doc = documented - exported
+        assert not stale_in_doc, (
+            f"metrics documented in {DOC_PATH.name} but not in the contract: "
+            f"{sorted(stale_in_doc)}"
+        )
+
+    def test_doc_names_every_stage(self):
+        doc = DOC_PATH.read_text()
+        for stage in contract.ALL_STAGES:
+            assert f"`{stage}`" in doc
+
+
+class TestMonotoneAcrossRedeploy:
+    def _spec(self, node, hook, label):
+        return TracingSpec(
+            rule=FilterRule(dst_port=9000, protocol=IPPROTO_UDP),
+            tracepoints=[TracepointSpec(node=node.name, hook=hook, label=label)],
+        )
+
+    def test_fires_and_loads_survive_teardown(self, engine, two_nodes):
+        node_a, node_b, ip_a, ip_b = two_nodes
+        tracer = VNetTracer(engine)
+        tracer.add_agent(node_a)
+        tracer.deploy(self._spec(node_a, "kprobe:udp_send_skb", "send"))
+        node_b.bind_udp(ip_b, 9000)
+        client = node_a.bind_udp(ip_a, 9001)
+        for i in range(5):
+            engine.schedule(1_000_000 + i * 1_000_000, client.sendto, ip_b, 9000,
+                            b"x" * 32, "app", i)
+        engine.run(until=50_000_000)
+
+        fires = tracer.obs.get("vnt_agent_probe_fires_total")
+        before = fires.value((node_a.name, "send"))
+        assert before == 5
+        assert tracer.obs.total("vnt_ebpf_programs_loaded") == 1
+
+        # Runtime reconfiguration: the old script is torn down, but its
+        # counters must not go backwards (Prometheus semantics).
+        tracer.deploy(self._spec(node_a, "kprobe:ip_output", "ip-out"))
+        engine.run(until=100_000_000)
+        assert fires.value((node_a.name, "send")) == before
+        assert tracer.obs.total("vnt_ebpf_programs_loaded") == 2
+
+
+class TestStatsCLI:
+    def test_table_output_lists_every_metric(self, capsys):
+        from repro.cli import main
+
+        assert main(["stats", "--duration-ms", "150"]) == 0
+        out = capsys.readouterr().out
+        for spec in contract.ALL_METRICS:
+            assert spec.name in out
+
+    def test_json_output_parses(self, capsys):
+        from repro.cli import main
+
+        assert main(["stats", "--duration-ms", "150", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc["metrics"]) == {spec.name for spec in contract.ALL_METRICS}
