@@ -14,7 +14,7 @@ from repro.workloads.sockperf import SockperfClient, SockperfServer
 DURATION_NS = 400_000_000
 
 
-def _run(online: bool) -> dict:
+def _run(online: bool, duration_ns: int = DURATION_NS) -> dict:
     scene = build_two_host_kvm(seed=21)
     engine = scene.engine
     SockperfServer(scene.vm2.node, scene.vm2_ip)
@@ -36,8 +36,8 @@ def _run(online: bool) -> dict:
     tracer.deploy(spec)
     cpu0 = scene.vm1.node.cpus[0]
     busy_before = cpu0.busy_ns
-    client.start(DURATION_NS, start_delay_ns=5_000_000)
-    engine.run(until=DURATION_NS + 200_000_000)
+    client.start(duration_ns, start_delay_ns=5_000_000)
+    engine.run(until=duration_ns + 200_000_000)
     rows_before_collect = tracer.db.rows_inserted
     tracer.collect()
     return {
@@ -66,3 +66,16 @@ def test_ablation_online_vs_offline(benchmark, once, report):
     # Online costs more agent CPU.
     assert results["online"]["agent_cpu0_busy_us"] > results["offline"]["agent_cpu0_busy_us"]
     assert results["online"]["rows_total"] == results["offline"]["rows_total"]
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    from repro.bench.presets import scale_duration
+
+    duration_ns = scale_duration(preset, DURATION_NS)
+    out = {}
+    for mode, online in (("offline", False), ("online", True)):
+        r = _run(online, duration_ns=duration_ns)
+        out[f"{mode}_avg_us"] = round(r["avg_us"], 3)
+        out[f"{mode}_agent_cpu0_busy_us"] = round(r["agent_cpu0_busy_us"], 1)
+        out[f"{mode}_rows_total"] = r["rows_total"]
+    return out

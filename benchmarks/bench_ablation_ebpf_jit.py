@@ -55,3 +55,15 @@ def test_ablation_interpreter_vs_jit(benchmark, once, report):
     )
     assert jit_cost < interp_cost          # execution is cheaper
     assert jit_load > interp_load          # but loading pays compilation
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    interp_load, interp_cost, insns = _script_cost(jit=False)
+    jit_load, jit_cost, _ = _script_cost(jit=True)
+    return {
+        "insns_executed": insns,
+        "interp_cost_ns": interp_cost,
+        "jit_cost_ns": jit_cost,
+        "interp_load_ns": interp_load,
+        "jit_load_ns": jit_load,
+    }

@@ -14,7 +14,7 @@ from repro.workloads.netperf import NetperfClient, NetperfServer
 DURATION_NS = 250_000_000
 
 
-def _run(rule) -> float:
+def _run(rule, duration_ns: int = DURATION_NS) -> float:
     scene = build_netperf_xen(seed=11, link_gbps=10.0)
     engine = scene.engine
     server = NetperfServer(scene.server_vm.node, scene.vm_ip, cpu_index=0)
@@ -32,9 +32,9 @@ def _run(rule) -> float:
             ],
         )
         tracer.deploy(spec)
-    client.start(DURATION_NS)
+    client.start(duration_ns)
     engine.schedule(50_000_000, server.reset_window)
-    engine.run(until=DURATION_NS + 100_000_000)
+    engine.run(until=duration_ns + 100_000_000)
     return server.goodput_bps()
 
 
@@ -60,3 +60,16 @@ def test_ablation_filter_selectivity(benchmark, once, report):
     # A non-matching filter is nearly free; match-all costs more.
     assert selective > 0.97 * untraced
     assert match_all <= selective
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    from repro.bench.presets import scale_duration
+
+    duration_ns = scale_duration(preset, DURATION_NS)
+    return {
+        "untraced_mbps": round(_run(None, duration_ns) / 1e6, 1),
+        "selective_mbps": round(
+            _run(FilterRule(dst_port=9999, protocol=IPPROTO_TCP), duration_ns) / 1e6, 1
+        ),
+        "match_all_mbps": round(_run(FilterRule(), duration_ns) / 1e6, 1),
+    }

@@ -36,3 +36,20 @@ def test_ablation_ratelimit_sweep(benchmark, once, report):
     assert by_limit[2000].context_switches < 0.7 * by_limit[0].context_switches
     # The hog keeps the vast majority of the CPU in every setting.
     assert all(p.hog_share > 0.9 for p in points)
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    from repro.bench.presets import scale_duration
+
+    values_us = (0, 1000) if preset == "smoke" else (0, 250, 1000, 2000)
+    points = run_ratelimit_sweep(
+        values_us=values_us,
+        duration_ns=scale_duration(preset, DURATION_NS),
+    )
+    out = {}
+    for point in points:
+        out[f"ratelimit_{point.ratelimit_us}us_p999_us"] = round(
+            point.sockperf.p999_ns / 1e3, 1
+        )
+        out[f"ratelimit_{point.ratelimit_us}us_ctx_switches"] = point.context_switches
+    return out

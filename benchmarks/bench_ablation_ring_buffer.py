@@ -14,7 +14,7 @@ SIZES = (64, 256, 1024, 16 * 1024)
 DURATION_NS = 300_000_000
 
 
-def _run(ring_bytes: int) -> tuple:
+def _run(ring_bytes: int, duration_ns: int = DURATION_NS) -> tuple:
     scene = build_two_host_kvm(seed=9)
     engine = scene.engine
     SockperfServer(scene.vm2.node, scene.vm2_ip)
@@ -31,8 +31,8 @@ def _run(ring_bytes: int) -> tuple:
                                    flush_interval_ns=10_000_000),
     )
     tracer.deploy(spec)
-    client.start(DURATION_NS, start_delay_ns=5_000_000)
-    engine.run(until=DURATION_NS + 100_000_000)
+    client.start(duration_ns, start_delay_ns=5_000_000)
+    engine.run(until=duration_ns + 100_000_000)
     tracer.collect()
     agent = tracer.agents[scene.vm1.node.name]
     return client.sent, tracer.db.count("send"), agent.dropped_records()
@@ -55,3 +55,17 @@ def test_ablation_ring_buffer_sweep(benchmark, once, report):
     assert results[64][2] > 0
     assert results[16 * 1024][2] == 0
     assert results[16 * 1024][1] == results[16 * 1024][0]
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    from repro.bench.presets import scale_duration
+
+    duration_ns = scale_duration(preset, DURATION_NS)
+    sizes = (64, 16 * 1024) if preset == "smoke" else SIZES
+    out = {}
+    for size in sizes:
+        sent, recorded, dropped = _run(size, duration_ns)
+        out[f"ring_{size}b_sent"] = sent
+        out[f"ring_{size}b_recorded"] = recorded
+        out[f"ring_{size}b_dropped"] = dropped
+    return out

@@ -14,7 +14,7 @@ from repro.workloads.sockperf import SockperfClient, SockperfServer
 DURATION_NS = 400_000_000
 
 
-def _run(with_ids: bool) -> float:
+def _run(with_ids: bool, duration_ns: int = DURATION_NS) -> float:
     scene = build_two_host_kvm(seed=31)
     engine = scene.engine
     if with_ids:
@@ -22,8 +22,8 @@ def _run(with_ids: bool) -> float:
             enable_trace_ids(node)
     SockperfServer(scene.vm2.node, scene.vm2_ip)
     client = SockperfClient(scene.vm1.node, scene.vm1_ip, scene.vm2_ip, mps=2000)
-    client.start(DURATION_NS, start_delay_ns=5_000_000)
-    engine.run(until=DURATION_NS + 100_000_000)
+    client.start(duration_ns, start_delay_ns=5_000_000)
+    engine.run(until=duration_ns + 100_000_000)
     return client.summary().avg_ns
 
 
@@ -44,3 +44,16 @@ def test_ablation_trace_id_cost(benchmark, once, report):
     )
     # Tens to a few hundred ns on a ~50us latency: well under 1%.
     assert 0 <= delta < 1_000
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    from repro.bench.presets import scale_duration
+
+    duration_ns = scale_duration(preset, DURATION_NS)
+    plain = _run(False, duration_ns)
+    with_ids = _run(True, duration_ns)
+    return {
+        "plain_avg_us": round(plain / 1e3, 3),
+        "with_ids_avg_us": round(with_ids / 1e3, 3),
+        "delta_ns": round(with_ids - plain, 1),
+    }

@@ -28,3 +28,15 @@ def test_fig10a_sockperf_ratelimit_tail(benchmark, once, report):
     assert ratio > 8.0
     fixed = results["shared+ratelimit0"].sockperf
     assert fixed.p999_ns < 2 * base.p999_ns
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    from repro.bench.presets import scale_duration
+
+    results = run_fig10a(duration_ns=scale_duration(preset, DURATION_NS))
+    return {
+        f"{condition.replace('+', '_')}_p999_us": round(
+            result.sockperf.p999_ns / 1e3, 1
+        )
+        for condition, result in results.items()
+    }

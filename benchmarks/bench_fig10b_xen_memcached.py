@@ -28,3 +28,15 @@ def test_fig10b_memcached_ratelimit(benchmark, once, report):
     assert 4.0 < tail_ratio < 25.0
     fixed = results["shared+ratelimit0"].latency
     assert fixed.avg_ns < 1.5 * base.avg_ns
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    from repro.bench.presets import scale_duration
+
+    results = run_fig10b(duration_ns=scale_duration(preset, DURATION_NS))
+    return {
+        f"{condition.replace('+', '_')}_{stat}_us": round(value, 1)
+        for condition, result in results.items()
+        for stat, value in (("avg", result.latency.avg_ns / 1e3),
+                            ("p999", result.latency.p999_ns / 1e3))
+    }

@@ -49,3 +49,16 @@ def test_fig11_decomposition_sawtooth(benchmark, once, report):
     b_low, b_high = results["baseline"].one_way_jitter_range_us
     s_low, s_high = results["shared"].one_way_jitter_range_us
     assert (s_high - s_low) > 20 * (b_high - b_low)
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    from repro.bench.presets import scale_count
+
+    packets = scale_count(preset, PACKETS, floor=100)
+    out = {"packets": packets}
+    for condition in ("baseline", "shared"):
+        result = run_fig11_condition(condition, packets=packets)
+        sched = result.segment_summaries[SCHED_SEGMENT]
+        out[f"{condition}_sched_segment_avg_us"] = round(sched.avg_ns / 1e3, 1)
+        out[f"{condition}_sched_segment_max_us"] = round(sched.max_ns / 1e3, 1)
+    return out

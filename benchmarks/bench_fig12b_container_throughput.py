@@ -24,3 +24,15 @@ def test_fig12b_overlay_throughput_collapse(benchmark, once, report):
     assert 0.05 < tcp.ratio < 0.35
     assert 0.10 < udp.ratio < 0.45
     assert udp.ratio > tcp.ratio
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    from repro.bench.presets import scale_duration
+
+    results = run_fig12b(duration_ns=scale_duration(preset, DURATION_NS))
+    out = {}
+    for name, pair in results.items():
+        out[f"{name}_vm_gbps"] = round(pair.vm_bps / 1e9, 3)
+        out[f"{name}_container_gbps"] = round(pair.container_bps / 1e9, 3)
+        out[f"{name}_ratio_pct"] = round(pair.ratio * 100, 2)
+    return out

@@ -30,3 +30,14 @@ def test_fig13a_softirq_rate_and_distribution(benchmark, once, report):
     assert ratio > 2.5  # many more softirqs per delivered byte
     assert vm.cpu_distribution.get(0, 0) > 0.95
     assert 0.5 < container.cpu_distribution.get(0, 0) < 0.95
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    from repro.bench.presets import scale_duration
+
+    results = run_fig13a(duration_ns=scale_duration(preset, DURATION_NS))
+    out = {}
+    for path, r in results.items():
+        out[f"{path}_goodput_gbps"] = round(r.goodput_bps / 1e9, 3)
+        out[f"{path}_net_rx_rate_per_s"] = round(r.net_rx_rate_per_s, 1)
+    return out

@@ -26,3 +26,11 @@ def test_fig13b_datapath_depth(benchmark, once, report):
     assert any("vxlan" in hop for hop in container.hops)
     assert any("br-" in hop for hop in container.hops)
     assert any("veth" in hop for hop in container.hops)
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    results = run_fig13b()
+    return {
+        "vm_hops": len(results["vm"].hops),
+        "container_hops": len(results["container"].hops),
+    }

@@ -22,3 +22,12 @@ def test_fig4_cristian_accuracy(benchmark, once, report):
     for r in results:
         assert r.error_ns < 20_000  # within tens of us even under load
         assert r.one_way_ns > 0
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    results = run_fig4_sweep()
+    return {
+        "sweep_points": len(results),
+        "max_error_ns": max(r.error_ns for r in results),
+        "min_one_way_us": round(min(r.one_way_ns for r in results) / 1e3, 1),
+    }

@@ -26,3 +26,15 @@ def test_fig7a_sockperf_overhead(benchmark, once, report):
     )
     assert result.avg_overhead_pct < 2.0
     assert result.traced_loss == result.baseline_loss == 0
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    from repro.bench.presets import scale_duration
+
+    result = run_fig7a(duration_ns=scale_duration(preset, DURATION_NS), mps=1000)
+    return {
+        "baseline_avg_us": round(result.baseline.avg_ns / 1e3, 2),
+        "traced_avg_us": round(result.traced.avg_ns / 1e3, 2),
+        "avg_overhead_pct": round(result.avg_overhead_pct, 3),
+        "records_collected": result.records_collected,
+    }

@@ -28,3 +28,18 @@ def test_fig7b_netperf_tracer_overhead(benchmark, once, report, link_gbps, paper
     # Shape: vNetTracer nearly free; SystemTap clearly worse.
     assert result.vnettracer_loss_pct < 5.0
     assert result.systemtap_loss_pct > result.vnettracer_loss_pct + 5.0
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    from repro.bench.presets import scale_duration
+
+    duration_ns = scale_duration(preset, DURATION_NS)
+    links = (10.0,) if preset == "smoke" else (1.0, 10.0)
+    out = {}
+    for link_gbps in links:
+        result = run_fig7b(link_gbps=link_gbps, duration_ns=duration_ns)
+        key = f"{link_gbps:g}g"
+        out[f"{key}_baseline_mbps"] = round(result.baseline_bps / 1e6, 1)
+        out[f"{key}_vnettracer_loss_pct"] = round(result.vnettracer_loss_pct, 2)
+        out[f"{key}_systemtap_loss_pct"] = round(result.systemtap_loss_pct, 2)
+    return out

@@ -19,3 +19,15 @@ def test_fig8b_sockperf_latency_cases(benchmark, once, report):
     report("Fig 8(b): sockperf latency, Cases I/II/III", rows)
     assert results["II"].avg_ns > 5 * results["I"].avg_ns
     assert results["III"].avg_ns > results["II"].avg_ns
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    from repro.bench.presets import scale_duration
+
+    results = run_fig8b(duration_ns=scale_duration(preset, DURATION_NS))
+    return {
+        f"case_{case}_{stat}_us": round(value, 1)
+        for case, summary in results.items()
+        for stat, value in (("avg", summary.avg_ns / 1e3),
+                            ("p999", summary.p999_ns / 1e3))
+    }

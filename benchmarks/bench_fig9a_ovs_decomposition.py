@@ -30,3 +30,14 @@ def test_fig9a_latency_decomposition(benchmark, once, report):
     # III adds processing delay; III+ adds more.
     assert ovs_avg["III"] > 1.5 * ovs_avg["II"]
     assert ovs_avg["III+"] > ovs_avg["III"]
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    from repro.bench.presets import scale_duration
+
+    results = run_fig9a(duration_ns=scale_duration(preset, DURATION_NS))
+    return {
+        f"case_{case}_{segment}_avg_us": round(summary.avg_ns / 1e3, 1)
+        for case, decomposition in results.items()
+        for segment, summary in decomposition.items()
+    }

@@ -24,3 +24,13 @@ def test_fig9b_rate_limit_mitigation(benchmark, once, report):
         limited = results[f"{case}+ratelimit"].avg_ns
         assert limited < congested / 5
         assert limited < 3 * baseline.avg_ns
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    from repro.bench.presets import scale_duration
+
+    results = run_fig9b(duration_ns=scale_duration(preset, DURATION_NS))
+    return {
+        f"{key.replace('+', '_')}_avg_us": round(summary.avg_ns / 1e3, 1)
+        for key, summary in results.items()
+    }

@@ -1,0 +1,82 @@
+"""Microbenchmark: ring-buffer append/flush path with metrics attached.
+
+Every trace record crosses the kernel ring buffer, and the
+self-observability contract (docs/OBSERVABILITY.md) watches it do so --
+so the per-append cost including its metrics export is a first-order
+term in traced-scenario runtime.  Appends records at a fixed virtual
+rate with the periodic flush and a live MetricsRegistry, then drains
+flush batches through the batch record decoder agents use.
+"""
+
+from repro.core.records import TraceRecord, unpack_batch
+from repro.core.ringbuffer import TraceRingBuffer
+from repro.obs.registry import MetricsRegistry
+from repro.sim.engine import Engine
+
+FULL_RECORDS = 200_000
+APPEND_PERIOD_NS = 2_000
+FLUSH_INTERVAL_NS = 1_000_000
+
+
+def _churn(total_records: int) -> dict:
+    engine = Engine()
+    registry = MetricsRegistry()
+    decoded = [0]
+
+    def on_flush(batch):
+        decoded[0] += len(unpack_batch(batch))
+
+    ring = TraceRingBuffer(
+        engine,
+        capacity_bytes=64 * 1024,
+        flush_interval_ns=FLUSH_INTERVAL_NS,
+        on_flush=on_flush,
+        name="bench/ring",
+        registry=registry,
+        node="bench",
+    )
+    ring.start()
+    record = TraceRecord(1, 2, 3, 64, 0).pack()
+
+    def producer():
+        for _ in range(total_records):
+            ring.append(record)
+            yield APPEND_PERIOD_NS
+
+    engine.process(producer(), name="producer")
+    engine.run(until=total_records * APPEND_PERIOD_NS + 2 * FLUSH_INTERVAL_NS)
+    ring.flush()
+    ring.stop()
+    return {
+        "appended": ring.total_appended,
+        "dropped": ring.total_dropped,
+        "flushes": ring.flushes,
+        "decoded": decoded[0],
+        "metric_appended": registry.total("vnt_ring_appended_total"),
+        "metric_flushes": registry.total("vnt_ring_flushes_total"),
+        "hwm_bytes": ring.occupancy_hwm_bytes,
+    }
+
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    from repro.bench.presets import scale_count
+
+    return _churn(scale_count(preset, FULL_RECORDS, floor=20_000))
+
+
+def test_micro_ringbuffer_churn(benchmark, once, report):
+    results = once(_churn, 20_000)
+    report(
+        "Micro: ring append/flush with metrics registry attached",
+        {
+            "appended": results["appended"],
+            "flushes": results["flushes"],
+            "hwm (bytes)": results["hwm_bytes"],
+        },
+    )
+    assert results["appended"] == results["decoded"] == 20_000
+    assert results["dropped"] == 0
+    # The metrics contract sees exactly what the ring saw.
+    assert results["metric_appended"] == results["appended"]
+    assert results["metric_flushes"] == results["flushes"]

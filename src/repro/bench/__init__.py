@@ -1,0 +1,46 @@
+"""The benchmark harness (`repro bench`).
+
+The 18+ ``benchmarks/bench_*.py`` scenario files each expose a tiny
+``run(preset)`` entry point; this package discovers them, runs them
+under a preset (``smoke``/``full``), times wall-clock and the engine's
+event throughput, and writes schema-versioned JSON reports
+(``BENCH_<timestamp>.json``) that can be diffed against a committed
+``benchmarks/baseline.json`` to gate performance regressions in CI.
+
+See ``docs/BENCHMARKS.md`` for the schema, presets, and workflow.
+"""
+
+from repro.bench.compare import DEFAULT_TOLERANCE, Regression, compare_reports
+from repro.bench.discovery import BenchScenario, discover_scenarios, find_bench_dir
+from repro.bench.harness import ScenarioResult, run_scenario, run_suite
+from repro.bench.presets import PRESETS, check_preset, scale_count, scale_duration
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    build_report,
+    dumps_report,
+    load_report,
+    validate_report,
+    write_report,
+)
+
+__all__ = [
+    "BenchScenario",
+    "DEFAULT_TOLERANCE",
+    "PRESETS",
+    "Regression",
+    "SCHEMA_VERSION",
+    "ScenarioResult",
+    "build_report",
+    "check_preset",
+    "compare_reports",
+    "discover_scenarios",
+    "dumps_report",
+    "find_bench_dir",
+    "load_report",
+    "run_scenario",
+    "run_suite",
+    "scale_count",
+    "scale_duration",
+    "validate_report",
+    "write_report",
+]

@@ -1,0 +1,82 @@
+"""Compare a bench run against a committed baseline (the CI gate).
+
+The baseline file (``benchmarks/baseline.json``) is a normal report
+plus a ``tolerance`` field: the fraction of throughput a scenario may
+lose before the comparison fails.  Host-speed metrics are noisy across
+machines, so the shipped tolerance is deliberately generous -- the gate
+exists to catch *algorithmic* regressions (2x slowdowns from an
+accidental O(n) rescan), not 5% jitter.
+
+Checked per scenario present in the baseline:
+
+* the scenario still exists in the current run (coverage cannot
+  silently shrink);
+* ``events_per_sec`` did not drop below ``baseline * (1 - tolerance)``;
+* ``ns_per_probe`` did not grow beyond ``baseline / (1 - tolerance)``
+  (only when both reports measured probes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Tuple
+
+DEFAULT_TOLERANCE = 0.5
+
+
+class Regression(NamedTuple):
+    """One failed check."""
+
+    scenario: str
+    metric: str
+    baseline: float
+    current: float
+    allowed: float
+
+    def describe(self) -> str:
+        if self.metric == "missing":
+            return f"{self.scenario}: present in baseline but not in this run"
+        return (
+            f"{self.scenario}: {self.metric} {self.current:,.1f} vs baseline "
+            f"{self.baseline:,.1f} (allowed {self.allowed:,.1f})"
+        )
+
+
+def compare_reports(current: Dict, baseline: Dict) -> Tuple[List[Regression], List[str]]:
+    """Returns (regressions, human-readable summary lines)."""
+    tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    current_by_name = {entry["name"]: entry for entry in current["scenarios"]}
+    regressions: List[Regression] = []
+    lines: List[str] = []
+    if current.get("preset") != baseline.get("preset"):
+        lines.append(
+            f"note: preset mismatch (run={current.get('preset')}, "
+            f"baseline={baseline.get('preset')}); comparing anyway"
+        )
+    for base in baseline["scenarios"]:
+        name = base["name"]
+        entry = current_by_name.get(name)
+        if entry is None:
+            regressions.append(Regression(name, "missing", 0.0, 0.0, 0.0))
+            continue
+        checks = []
+        base_eps, cur_eps = base.get("events_per_sec"), entry.get("events_per_sec")
+        if base_eps and cur_eps is not None:
+            floor = base_eps * (1.0 - tolerance)
+            checks.append(("events_per_sec", base_eps, cur_eps, floor, cur_eps >= floor))
+        base_nspp, cur_nspp = base.get("ns_per_probe"), entry.get("ns_per_probe")
+        if base_nspp and cur_nspp is not None:
+            ceiling = base_nspp / (1.0 - tolerance)
+            checks.append(("ns_per_probe", base_nspp, cur_nspp, ceiling, cur_nspp <= ceiling))
+        for metric, base_value, cur_value, bound, ok in checks:
+            ratio = cur_value / base_value if base_value else float("nan")
+            status = "ok" if ok else "REGRESSION"
+            lines.append(
+                f"{name:32s} {metric:15s} {cur_value:>14,.1f}  "
+                f"baseline {base_value:>14,.1f}  ({ratio:5.2f}x) {status}"
+            )
+            if not ok:
+                regressions.append(Regression(name, metric, base_value, cur_value, bound))
+    extra = sorted(set(current_by_name) - {b["name"] for b in baseline["scenarios"]})
+    if extra:
+        lines.append(f"note: scenarios not in baseline (unchecked): {', '.join(extra)}")
+    return regressions, lines

@@ -1,0 +1,105 @@
+"""Run scenarios and measure them.
+
+For every scenario the harness measures host wall-clock time plus two
+process-wide simulation counters snapshotted around the run:
+
+* :meth:`Engine.global_events_executed` -- discrete events executed by
+  every engine the scenario built (the sim-core hot path);
+* :meth:`BPFProgram.global_runs` -- eBPF program executions, i.e. probe
+  fires (the per-packet tracing hot path the paper's overhead claims
+  are about).
+
+From those it derives ``events_per_sec`` (host throughput of the event
+loop) and ``ns_per_probe`` (host nanoseconds per probe fire), the two
+numbers the regression gate compares against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, NamedTuple, Optional
+
+from repro.bench.discovery import BenchScenario, discover_scenarios
+from repro.bench.presets import check_preset
+from repro.ebpf.vm import BPFProgram
+from repro.sim.engine import Engine
+
+
+class HarnessError(RuntimeError):
+    """A scenario misbehaved (bad return type, raised, ...)."""
+
+
+class ScenarioResult(NamedTuple):
+    """Measurements for one scenario run."""
+
+    name: str
+    preset: str
+    wall_ns: int
+    events_executed: int
+    probe_fires: int
+    metrics: Dict[str, object]  # scenario-reported, simulation-deterministic
+
+    @property
+    def events_per_sec(self) -> float:
+        if self.wall_ns <= 0:
+            return 0.0
+        return self.events_executed / (self.wall_ns / 1e9)
+
+    @property
+    def ns_per_probe(self) -> Optional[float]:
+        """Host ns per probe fire; None for scenarios without probes."""
+        if self.probe_fires <= 0:
+            return None
+        return self.wall_ns / self.probe_fires
+
+
+def run_scenario(scenario: BenchScenario, preset: str = "smoke") -> ScenarioResult:
+    """Load and execute one scenario under ``preset``."""
+    check_preset(preset)
+    run = scenario.load()
+    gc.collect()  # keep collector pauses out of the timed window (best effort)
+    events_before = Engine.global_events_executed()
+    fires_before = BPFProgram.global_runs()
+    started = time.perf_counter_ns()
+    metrics = run(preset)
+    wall_ns = time.perf_counter_ns() - started
+    events = Engine.global_events_executed() - events_before
+    fires = BPFProgram.global_runs() - fires_before
+    if not isinstance(metrics, dict):
+        raise HarnessError(
+            f"scenario {scenario.name}: run(preset) must return a dict of "
+            f"metrics, got {type(metrics).__name__}"
+        )
+    return ScenarioResult(
+        name=scenario.name,
+        preset=preset,
+        wall_ns=wall_ns,
+        events_executed=events,
+        probe_fires=fires,
+        metrics=metrics,
+    )
+
+
+def run_suite(
+    preset: str = "smoke",
+    only: Optional[List[str]] = None,
+    bench_dir: Optional[Path] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> List[ScenarioResult]:
+    """Discover and run scenarios; ``progress`` gets one line per scenario."""
+    check_preset(preset)
+    results = []
+    for scenario in discover_scenarios(bench_dir, only=only):
+        result = run_scenario(scenario, preset)
+        results.append(result)
+        if progress is not None:
+            nspp = result.ns_per_probe
+            tail = f"{nspp:9.0f} ns/probe" if nspp is not None else "  (no probes)"
+            progress(
+                f"{result.name:32s} {result.wall_ns / 1e9:7.2f}s  "
+                f"{result.events_executed:>9d} events  "
+                f"{result.events_per_sec / 1e3:8.1f}k ev/s  {tail}"
+            )
+    return results

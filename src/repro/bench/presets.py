@@ -1,0 +1,35 @@
+"""Benchmark presets: how much work each scenario does.
+
+Every scenario's ``run(preset)`` scales its virtual duration (or packet
+count) through these helpers, so the whole suite can run as a quick CI
+smoke pass or at the full durations the paper figures use.
+"""
+
+from __future__ import annotations
+
+PRESETS = ("smoke", "full")
+
+# Fraction of the full-scale workload each preset runs.
+SCALE = {"smoke": 0.1, "full": 1.0}
+
+# A smoke run still has to cover several flush intervals, scheduler
+# periods and clock-sync rounds to produce meaningful shapes.
+MIN_DURATION_NS = 20_000_000
+
+
+def check_preset(preset: str) -> str:
+    if preset not in PRESETS:
+        raise ValueError(f"unknown preset {preset!r}; expected one of {PRESETS}")
+    return preset
+
+
+def scale_duration(preset: str, full_ns: int, floor_ns: int = MIN_DURATION_NS) -> int:
+    """Virtual duration for ``preset`` given the full-scale duration."""
+    check_preset(preset)
+    return max(int(full_ns * SCALE[preset]), min(floor_ns, full_ns))
+
+
+def scale_count(preset: str, full_count: int, floor: int = 1) -> int:
+    """Iteration/packet count for ``preset`` given the full-scale count."""
+    check_preset(preset)
+    return max(int(full_count * SCALE[preset]), min(floor, full_count))

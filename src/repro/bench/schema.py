@@ -1,0 +1,137 @@
+"""The benchmark report JSON schema (version 1).
+
+A report is one JSON document::
+
+    {
+      "schema_version": 1,
+      "preset": "smoke",
+      "deterministic": false,
+      "created_utc": "20260806T120000Z",      # absent when deterministic
+      "host": {"python": "...", "platform": "..."},   # absent when deterministic
+      "tolerance": 0.5,                        # only in baseline files
+      "scenarios": [
+        {
+          "name": "fig7a_overhead_latency",
+          "events_executed": 123456,
+          "probe_fires": 2880,
+          "metrics": {...},                    # scenario-reported, deterministic
+          "wall_ns": 412345678,                # absent when deterministic
+          "events_per_sec": 1234567.8,         # absent when deterministic
+          "ns_per_probe": 532.1                # absent when deterministic / no probes
+        }, ...
+      ]
+    }
+
+``deterministic`` reports carry only simulation-derived fields, so two
+runs with the same code and seeds are **byte-identical** -- that is what
+the CI determinism job diffs.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.bench.harness import ScenarioResult
+from repro.bench.presets import check_preset
+
+SCHEMA_VERSION = 1
+
+
+class SchemaError(ValueError):
+    """A report document does not match the schema."""
+
+
+def build_report(
+    results: List[ScenarioResult],
+    preset: str,
+    deterministic: bool = False,
+    tolerance: Optional[float] = None,
+) -> Dict:
+    """Assemble the report document for a suite run."""
+    check_preset(preset)
+    scenarios = []
+    for result in sorted(results, key=lambda r: r.name):
+        entry: Dict[str, object] = {
+            "name": result.name,
+            "events_executed": result.events_executed,
+            "probe_fires": result.probe_fires,
+            "metrics": result.metrics,
+        }
+        if not deterministic:
+            entry["wall_ns"] = result.wall_ns
+            entry["events_per_sec"] = round(result.events_per_sec, 1)
+            if result.ns_per_probe is not None:
+                entry["ns_per_probe"] = round(result.ns_per_probe, 1)
+        scenarios.append(entry)
+    doc: Dict[str, object] = {
+        "schema_version": SCHEMA_VERSION,
+        "preset": preset,
+        "deterministic": deterministic,
+        "scenarios": scenarios,
+    }
+    if not deterministic:
+        doc["created_utc"] = time.strftime("%Y%m%dT%H%M%SZ", time.gmtime())
+        doc["host"] = {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        }
+    if tolerance is not None:
+        doc["tolerance"] = tolerance
+    return doc
+
+
+def validate_report(doc: Dict) -> Dict:
+    """Check the shape of a report document; returns it for chaining."""
+    if not isinstance(doc, dict):
+        raise SchemaError(f"report must be a JSON object, got {type(doc).__name__}")
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise SchemaError(f"unsupported schema_version {version!r} (expected {SCHEMA_VERSION})")
+    check_preset(doc.get("preset", ""))
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, list):
+        raise SchemaError("report is missing its scenarios list")
+    deterministic = bool(doc.get("deterministic", False))
+    seen = set()
+    for entry in scenarios:
+        if not isinstance(entry, dict) or "name" not in entry:
+            raise SchemaError(f"bad scenario entry: {entry!r}")
+        name = entry["name"]
+        if name in seen:
+            raise SchemaError(f"duplicate scenario {name!r}")
+        seen.add(name)
+        for field in ("events_executed", "probe_fires"):
+            if not isinstance(entry.get(field), int):
+                raise SchemaError(f"scenario {name!r} is missing integer {field!r}")
+        if not isinstance(entry.get("metrics"), dict):
+            raise SchemaError(f"scenario {name!r} is missing its metrics dict")
+        if not deterministic and not isinstance(entry.get("wall_ns"), int):
+            raise SchemaError(f"scenario {name!r} is missing wall_ns")
+    tolerance = doc.get("tolerance")
+    if tolerance is not None:
+        if not isinstance(tolerance, (int, float)) or not 0 < tolerance < 1:
+            raise SchemaError(f"tolerance must be in (0, 1), got {tolerance!r}")
+    return doc
+
+
+def dumps_report(doc: Dict) -> str:
+    """Canonical serialization (stable key order -> byte-diffable)."""
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def write_report(doc: Dict, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.write_text(dumps_report(validate_report(doc)))
+    return path
+
+
+def load_report(path: Union[str, Path]) -> Dict:
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SchemaError(f"cannot read report {path}: {exc}") from exc
+    return validate_report(doc)

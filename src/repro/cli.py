@@ -6,6 +6,8 @@
     python -m repro.cli run all
     python -m repro.cli stats
     python -m repro.cli stats --format prom --duration-ms 500
+    python -m repro.cli bench --preset smoke
+    python -m repro.cli bench --preset smoke --compare benchmarks/baseline.json
 
 Each figure prints its paper-vs-measured block; `run all` walks the
 whole evaluation (§IV).  The same runners back `benchmarks/`.
@@ -14,6 +16,11 @@ whole evaluation (§IV).  The same runners back `benchmarks/`.
 layer attached (see docs/OBSERVABILITY.md) and emits the pipeline's own
 health metrics as a table, JSON, Prometheus text, or the sampled time
 series.
+
+`bench` runs the benchmark harness over every `benchmarks/bench_*.py`
+scenario, writes a schema-versioned `BENCH_<timestamp>.json`, and can
+gate against `benchmarks/baseline.json` (exit code 1 on regression);
+see docs/BENCHMARKS.md.
 """
 
 from __future__ import annotations
@@ -180,6 +187,65 @@ def _stats(args) -> None:
         print(pipeline_health_report(result.registry, sampler=result.sampler))
 
 
+def _bench(args) -> int:
+    from repro.bench import (
+        build_report,
+        compare_reports,
+        discover_scenarios,
+        dumps_report,
+        find_bench_dir,
+        load_report,
+        run_suite,
+        write_report,
+    )
+    from repro.bench.discovery import DiscoveryError
+    from repro.bench.schema import SchemaError
+
+    try:
+        bench_dir = find_bench_dir(args.bench_dir)
+        if args.list:
+            for scenario in discover_scenarios(bench_dir):
+                print(scenario.name)
+            return 0
+        progress = None if args.json else print
+        results = run_suite(
+            preset=args.preset, only=args.only or None, bench_dir=bench_dir,
+            progress=progress,
+        )
+        report = build_report(results, args.preset, deterministic=args.deterministic)
+        if args.json:
+            print(dumps_report(report), end="")
+        if args.out != "-":
+            out = args.out or time.strftime("BENCH_%Y%m%dT%H%M%SZ.json", time.gmtime())
+            path = write_report(report, out)
+            if not args.json:
+                print(f"wrote {path}")
+        if args.update_baseline:
+            baseline_doc = build_report(
+                results, args.preset, deterministic=False, tolerance=args.tolerance
+            )
+            path = write_report(baseline_doc, bench_dir / "baseline.json")
+            if not args.json:
+                print(f"updated baseline {path}")
+        if args.compare:
+            baseline = load_report(args.compare)
+            regressions, lines = compare_reports(report, baseline)
+            stream = sys.stderr if args.json else sys.stdout
+            for line in lines:
+                print(line, file=stream)
+            if regressions:
+                print(f"\n{len(regressions)} regression(s) beyond the "
+                      f"baseline tolerance:", file=stream)
+                for regression in regressions:
+                    print(f"  {regression.describe()}", file=stream)
+                return 1
+            print("no regressions beyond the baseline tolerance", file=stream)
+        return 0
+    except (DiscoveryError, SchemaError) as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value <= 0:
@@ -209,6 +275,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stats sampler period (virtual ms)")
     stats.add_argument("--format", choices=("table", "json", "prom", "series"),
                        default="table", help="output format")
+    bench = sub.add_parser(
+        "bench", help="run the benchmark harness over benchmarks/bench_*.py"
+    )
+    bench.add_argument("--preset", choices=("smoke", "full"), default="smoke",
+                       help="workload scale (smoke ~= 10%% of full durations)")
+    bench.add_argument("--only", action="append", metavar="NAME",
+                       help="run only the named scenario(s); repeatable")
+    bench.add_argument("--json", action="store_true",
+                       help="print the report JSON to stdout")
+    bench.add_argument("--out", metavar="PATH", default=None,
+                       help="report file (default BENCH_<timestamp>.json; '-' skips)")
+    bench.add_argument("--compare", metavar="BASELINE",
+                       help="compare against a baseline report; exit 1 on regression")
+    bench.add_argument("--update-baseline", action="store_true",
+                       help="rewrite benchmarks/baseline.json from this run")
+    bench.add_argument("--tolerance", type=float, default=0.5,
+                       help="tolerance recorded with --update-baseline (default 0.5)")
+    bench.add_argument("--deterministic", action="store_true",
+                       help="emit only simulation-derived fields (byte-diffable)")
+    bench.add_argument("--list", action="store_true",
+                       help="list discovered scenarios and exit")
+    bench.add_argument("--bench-dir", metavar="DIR", default=None,
+                       help="benchmarks directory (default: auto-detect)")
     return parser
 
 
@@ -218,6 +307,8 @@ def main(argv=None) -> int:
         for name in sorted(FIGURES):
             print(name)
         return 0
+    if args.command == "bench":
+        return _bench(args)
 
     args.duration_ns = args.duration_ms * 1_000_000
     if args.command == "stats":

@@ -23,7 +23,7 @@ from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.compiler import compile_script
 from repro.core.config import ControlPackage
-from repro.core.records import RECORD_BYTES, TraceRecord
+from repro.core.records import RECORD_BYTES, unpack_batch
 from repro.core.ringbuffer import FLUSH_FIXED_COST_NS, TraceRingBuffer
 from repro.ebpf.maps import PerCPUArrayMap, PerfEventArray
 from repro.ebpf.probes import EBPFAttachment
@@ -233,7 +233,7 @@ class Agent:
         self.batches_sent += 1
         self.records_forwarded += len(batch)
         self._count_shipment(len(batch))
-        records = [TraceRecord.unpack(raw) for raw in batch]
+        records = unpack_batch(batch)
 
         def deliver() -> None:
             self.collector.receive_batch(self.node.name, records)
@@ -248,7 +248,7 @@ class Agent:
         if not self.local_store:
             return 0
         batch, self.local_store = self.local_store, []
-        records = [TraceRecord.unpack(raw) for raw in batch]
+        records = unpack_batch(batch)
         self.records_forwarded += len(records)
         self.batches_sent += 1
         self._count_shipment(len(records))

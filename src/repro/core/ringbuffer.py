@@ -79,12 +79,20 @@ class TraceRingBuffer:
         self._timer = None
         self._running = False
 
-        self._m_appended = self._m_dropped = self._m_flushes = None
         self._m_batch = self._m_hwm = None
         if registry is not None:
-            self._m_appended = registry.register_spec(obs_contract.RING_APPENDED)
-            self._m_dropped = registry.register_spec(obs_contract.RING_DROPPED)
-            self._m_flushes = registry.register_spec(obs_contract.RING_FLUSHES)
+            # The append/drop/flush counters are *pull-based* (evaluated at
+            # collection time from the totals this buffer already keeps), so
+            # the per-record hot path does no metric work.  Summing is
+            # monotone-correct across redeploys: a replaced ring's callback
+            # keeps reporting its frozen totals.  The occupancy gauge must
+            # stay push-based -- maxima from successive rings do not sum.
+            appended = registry.register_spec(obs_contract.RING_APPENDED)
+            appended.add_callback(lambda: {(self.node,): float(self.total_appended)})
+            dropped = registry.register_spec(obs_contract.RING_DROPPED)
+            dropped.add_callback(lambda: {(self.node,): float(self.total_dropped)})
+            flushes = registry.register_spec(obs_contract.RING_FLUSHES)
+            flushes.add_callback(lambda: {(self.node,): float(self.flushes)})
             self._m_batch = registry.register_spec(obs_contract.RING_FLUSH_BATCH)
             self._m_hwm = registry.register_spec(obs_contract.RING_OCCUPANCY_HWM)
 
@@ -94,8 +102,6 @@ class TraceRingBuffer:
         size = len(record)
         if self._used_bytes + size > self.capacity_bytes:
             self.total_dropped += 1
-            if self._m_dropped is not None:
-                self._m_dropped.inc(labels=(self.node,))
             if self.strict:
                 raise RingBufferFull(
                     f"{self.name}: {size}B record does not fit "
@@ -111,8 +117,6 @@ class TraceRingBuffer:
             self.occupancy_hwm_bytes = self._used_bytes
             if self._m_hwm is not None:
                 self._m_hwm.set_max(self._used_bytes, labels=(self.node,))
-        if self._m_appended is not None:
-            self._m_appended.inc(labels=(self.node,))
         return True
 
     @property
@@ -148,8 +152,7 @@ class TraceRingBuffer:
         self.flushes += 1
         self.last_flush_age_ns = self.engine.now - (self._first_append_ns or 0)
         self._first_append_ns = None
-        if self._m_flushes is not None:
-            self._m_flushes.inc(labels=(self.node,))
+        if self._m_batch is not None:
             self._m_batch.observe(len(batch), labels=(self.node,))
         self.on_flush(batch)
         return len(batch)

@@ -281,6 +281,16 @@ def _compile_st(insn: Instruction, index: int) -> Step:
     return step
 
 
+def compile_map_load(first: Instruction, second: Instruction, index: int) -> Tuple[Step, int]:
+    """Recompile one LD_IMM64 slot.
+
+    The program cache (:mod:`repro.ebpf.vm`) shares compiled steps across
+    loads of the same script, but map references embed per-instance fds;
+    on a cache hit only these slots are rebuilt against the real fds.
+    """
+    return _compile_ld_imm64(first, second, index), 2
+
+
 def _compile_ld_imm64(first: Instruction, second: Instruction, index: int) -> Step:
     dst = first.dst
     next_pc = index + 2

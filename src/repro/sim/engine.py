@@ -35,24 +35,36 @@ class Event:
 
     Instances are returned by :meth:`Engine.schedule` so callers can
     :meth:`cancel` them.  Cancelled events stay in the heap but are
-    skipped when popped (lazy deletion).
+    skipped when popped (lazy deletion); the engine's live-event counter
+    is decremented eagerly so ``pending()`` and the end-of-run clock
+    advance never have to rescan the heap.  ``cancelled`` is also set
+    when the event fires, so a late ``cancel()`` is a no-op.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "engine")
 
-    def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(
+        self, time: int, seq: int, fn: Callable[..., Any], args: tuple, engine: "Engine"
+    ):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.engine = engine
 
     def cancel(self) -> None:
         """Prevent the event from firing; safe to call more than once."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            self.engine._live -= 1
 
     def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        # heapq calls this O(log n) times per push/pop; comparing fields
+        # directly avoids allocating two tuples per comparison.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -151,10 +163,21 @@ class SimProcess:
 class Engine:
     """Single-threaded discrete-event loop with integer-ns virtual time."""
 
+    # Process-wide total across every engine instance.  The benchmark
+    # harness (repro.bench) snapshots this around a scenario to count
+    # events without reaching into the engines the scenario builds.
+    _events_executed_global = 0
+
+    @classmethod
+    def global_events_executed(cls) -> int:
+        """Total events executed by all engines in this process."""
+        return cls._events_executed_global
+
     def __init__(self) -> None:
         self._now = 0
         self._seq = 0
         self._heap: List[Event] = []
+        self._live = 0  # not-yet-cancelled, not-yet-fired events in the heap
         self._running = False
         self.events_executed = 0
 
@@ -165,9 +188,19 @@ class Engine:
 
     def schedule(self, delay_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Run ``fn(*args)`` after ``delay_ns`` nanoseconds; returns the Event."""
-        if delay_ns < 0:
-            raise SimulationError(f"negative delay {delay_ns}")
-        return self.schedule_at(self._now + int(delay_ns), fn, *args)
+        if delay_ns:
+            if delay_ns < 0:
+                raise SimulationError(f"negative delay {delay_ns}")
+            time_ns = self._now + int(delay_ns)
+        else:
+            # Zero-delay wakeups (signal triggers, process steps) dominate
+            # scheduling; skip the add/convert entirely.
+            time_ns = self._now
+        event = Event(time_ns, self._seq, fn, args, self)
+        self._seq += 1
+        self._live += 1
+        heapq.heappush(self._heap, event)
+        return event
 
     def schedule_at(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Run ``fn(*args)`` at absolute virtual time ``time_ns``."""
@@ -175,8 +208,9 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at {time_ns} before now={self._now}"
             )
-        event = Event(int(time_ns), self._seq, fn, args)
+        event = Event(int(time_ns), self._seq, fn, args, self)
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, event)
         return event
 
@@ -197,34 +231,56 @@ class Engine:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
         executed = 0
+        heap = self._heap
+        pop = heapq.heappop
         try:
-            while self._heap:
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and event.time > until:
-                    break
-                if max_events is not None and executed >= max_events:
-                    break
-                heapq.heappop(self._heap)
-                self._now = event.time
-                event.fn(*event.args)
-                executed += 1
+            if until is None and max_events is None:
+                # Run-to-drain is the overwhelmingly common call; keep the
+                # loop body free of bound checks.
+                while heap:
+                    event = pop(heap)
+                    if event.cancelled:
+                        continue
+                    event.cancelled = True  # fired; late cancel() is a no-op
+                    self._live -= 1
+                    self._now = event.time
+                    event.fn(*event.args)
+                    executed += 1
+            else:
+                while heap:
+                    event = heap[0]
+                    if event.cancelled:
+                        pop(heap)
+                        continue
+                    if until is not None and event.time > until:
+                        break
+                    if max_events is not None and executed >= max_events:
+                        break
+                    pop(heap)
+                    event.cancelled = True
+                    self._live -= 1
+                    self._now = event.time
+                    event.fn(*event.args)
+                    executed += 1
         finally:
             self._running = False
         if until is not None and self._now < until:
             # Advance the clock even if nothing was left to do; callers
-            # rely on `now` reflecting how far the run progressed.
-            empty = not any(not ev.cancelled for ev in self._heap)
-            if empty or (self._heap and self._heap[0].time > until):
+            # rely on `now` reflecting how far the run progressed.  Pop the
+            # cancelled prefix so heap[0] (if any) is the earliest *live*
+            # event -- a heap holding only cancelled events must not pin
+            # the clock.
+            while heap and heap[0].cancelled:
+                pop(heap)
+            if not heap or heap[0].time > until:
                 self._now = until
         self.events_executed += executed
+        Engine._events_executed_global += executed
         return executed
 
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        return self._live
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Engine now={self._now}ns pending={self.pending()}>"

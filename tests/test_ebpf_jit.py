@@ -11,7 +11,12 @@ from repro.ebpf.assembler import Assembler
 from repro.ebpf.context import build_skb_context
 from repro.ebpf.isa import R0, R1, R2, R3, R4, R5, R10
 from repro.ebpf.maps import PerCPUArrayMap, PerfEventArray
-from repro.ebpf.vm import BPFProgram, ExecutionEnv
+from repro.ebpf.vm import (
+    BPFProgram,
+    ExecutionEnv,
+    clear_program_cache,
+    program_cache_stats,
+)
 from repro.net.addressing import IPv4Address, MACAddress
 from repro.net.packet import IPPROTO_UDP, make_udp_packet
 
@@ -50,7 +55,10 @@ def _build_random_program(inits, steps):
 
 
 def _run(insns, jit):
-    program = BPFProgram(list(insns), name="diff", jit=jit)
+    # jit=False runs the genuine interpreter loop (precompile off);
+    # jit=True the pre-decoded closures -- that is the differential pair,
+    # since by default both cost modes dispatch through closures.
+    program = BPFProgram(list(insns), name="diff", jit=jit, precompile=jit)
     program.load()
     return program.run(ExecutionEnv(clock=lambda: 123456), bytearray(64))
 
@@ -126,6 +134,7 @@ class TestDifferentialCompiledScripts:
             histogram_map=hist,
             jit=jit,
         )
+        program.precompile = jit  # non-jit side must run the real interpreter
         program.load()
         env = ExecutionEnv(maps=maps, clock=lambda: 999, prandom_u32=lambda: 0)
         return program, env, perf
@@ -148,6 +157,55 @@ class TestDifferentialCompiledScripts:
             outcomes.append((result.r0, result.insns_executed,
                              result.helper_calls, perf.events_emitted))
         assert outcomes[0] == outcomes[1]
+
+    def _redeploy(self, tracepoint, action=ActionSpec(record=True)):
+        """One agent install of ``tracepoint``: same script, fresh maps."""
+        perf = PerfEventArray(num_cpus=2)
+        perf.set_consumer(lambda _cpu, _record: None)
+        program, maps = compile_script(
+            FilterRule(dst_port=4000, protocol=IPPROTO_UDP),
+            tracepoint, action, perf_map=perf, jit=True,
+        )
+        program.load()
+        return program, ExecutionEnv(maps=maps, clock=lambda: 999), perf
+
+    def test_program_cache_hit_on_redeploy(self):
+        """Redeploying an unchanged script (same tracepoint, fresh maps
+        with fresh fds) must reuse the verified+compiled steps."""
+        clear_program_cache()
+        packet = make_udp_packet(MAC_A, MAC_B, IPv4Address("1.1.1.1"),
+                                 IPv4Address("2.2.2.2"), 1, 4000, b"data!")
+        tracepoint = TracepointSpec(node="n", hook="dev:x")
+        emitted = []
+        for _ in range(3):
+            program, env, perf = self._redeploy(tracepoint)
+            ctx, data = build_skb_context(packet)
+            program.run(env, ctx, data)
+            emitted.append(perf.events_emitted)
+        stats = program_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2
+        assert stats["size"] == 1
+        # The patched map-load steps hit each redeploy's own fresh maps.
+        assert emitted == [1, 1, 1]
+
+    def test_program_cache_miss_on_different_bytecode(self):
+        clear_program_cache()
+        tracepoint = TracepointSpec(node="n", hook="dev:x")
+        self._redeploy(tracepoint)
+        self._redeploy(tracepoint, ActionSpec(record=True, sample_shift=2))
+        stats = program_cache_stats()
+        assert stats["misses"] == 2 and stats["hits"] == 0
+
+    def test_precompile_off_bypasses_the_cache(self):
+        clear_program_cache()
+        asm = Assembler()
+        asm.mov_imm(R0, 1)
+        asm.exit_()
+        insns = asm.assemble()
+        _run(insns, jit=False)  # precompile off -> genuine interpreter
+        stats = program_cache_stats()
+        assert stats["misses"] == 0 and stats["size"] == 0
 
     def test_jit_charged_cheaper_per_run(self):
         packet = make_udp_packet(MAC_A, MAC_B, IPv4Address("1.1.1.1"),

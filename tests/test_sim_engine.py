@@ -99,6 +99,39 @@ class TestScheduling:
         e1.cancel()
         assert engine.pending() == 1
 
+    def test_until_advances_clock_past_only_cancelled_events(self, engine):
+        # Regression: a heap holding nothing but cancelled events must not
+        # pin the clock -- `now` has to advance all the way to `until`.
+        for delay in (10, 20, 30):
+            engine.schedule(delay, lambda: None).cancel()
+        engine.run(until=100)
+        assert engine.now == 100
+        assert engine.pending() == 0
+
+    def test_until_advances_when_live_events_lie_beyond(self, engine):
+        engine.schedule(5, lambda: None).cancel()
+        engine.schedule(500, lambda: None)
+        engine.run(until=100)
+        assert engine.now == 100
+        assert engine.pending() == 1
+
+    def test_cancel_after_fire_is_a_noop(self, engine):
+        event = engine.schedule(10, lambda: None)
+        engine.schedule(20, lambda: None)
+        engine.run()
+        event.cancel()  # already fired; must not corrupt the live count
+        event.cancel()
+        assert engine.pending() == 0
+
+    def test_cancel_during_run_keeps_pending_exact(self, engine):
+        victim = engine.schedule(50, lambda: None)
+        engine.schedule(10, victim.cancel)
+        engine.schedule(60, lambda: None)
+        executed = engine.run(until=20)
+        assert executed == 1
+        assert engine.pending() == 1
+        assert engine.now == 20
+
 
 class TestSignal:
     def test_waiters_fire_on_trigger(self, engine):
