@@ -1,0 +1,87 @@
+"""Microbenchmark: span-tree assembly throughput.
+
+The `repro timeline` verb folds every collected trace into a span tree
+(`repro.tracing.reconstruct`), so assembly cost scales with rows in the
+TraceDB.  This scenario drives record ingestion through engine events
+(per-node batch arrivals, the collector's shape), then reconstructs the
+full forest and serializes it to Chrome trace JSON -- the whole
+timeline hot path, gated on events/s against the committed baseline.
+"""
+
+from repro.core.records import TraceRecord
+from repro.core.tracedb import TraceDB
+from repro.sim.engine import Engine
+
+FULL_TRACES = 8_000
+BATCH = 50
+
+# Two nodes, two tracepoints each: packet > device/hop/wire shape.
+_CHAIN = (
+    ("tx", "send"),
+    ("tx", "nic-out"),
+    ("rx", "nic-in"),
+    ("rx", "deliver"),
+)
+_HOP_NS = (9_000, 27_000, 9_500)
+
+
+def _build(total_traces: int) -> dict:
+    from repro.tracing.export import chrome_trace_json
+    from repro.tracing.reconstruct import SpanAssembler
+
+    engine = Engine()
+    db = TraceDB()
+    db.set_clock_skew("rx", -1_500_000)
+
+    def ingest(first_trace: int) -> None:
+        # One "batch arrival": BATCH traces' worth of rows, per node.
+        for trace_id in range(first_trace, first_trace + BATCH):
+            base = 1_000_000 + trace_id * 40_000
+            ts = base
+            for index, (node, label) in enumerate(_CHAIN):
+                db.insert(node, label, TraceRecord(trace_id, index, ts, 64, 0))
+                if index < len(_HOP_NS):
+                    ts += _HOP_NS[index]
+
+    for first in range(1, total_traces + 1, BATCH):
+        engine.schedule(first * 1_000, ingest, first)
+    engine.run()
+
+    chain = [label for _, label in _CHAIN]
+    assembler = SpanAssembler(db)
+    forest = assembler.forest(chain=chain, complete_only=True)
+    anomalies = assembler.anomalies(forest)
+    document = chrome_trace_json(forest)
+    return {
+        "rows_inserted": db.rows_inserted,
+        "trees_built": assembler.trees_built,
+        "spans_built": assembler.spans_built,
+        "orphan_records": assembler.orphan_records,
+        "anomalies": len(anomalies),
+        "chrome_bytes": len(document),
+    }
+
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    from repro.bench.presets import scale_count
+
+    return _build(scale_count(preset, FULL_TRACES, floor=500))
+
+
+def test_micro_span_reconstruct(benchmark, once, report):
+    results = once(_build, 1_000)
+    report(
+        "Micro: span-tree assembly + Chrome export",
+        {
+            "rows inserted": results["rows_inserted"],
+            "trees built": results["trees_built"],
+            "spans built": results["spans_built"],
+            "chrome bytes": results["chrome_bytes"],
+        },
+    )
+    assert results["trees_built"] == 1_000
+    # packet + 2 devices + 2 hops + 1 wire per trace, nothing orphaned.
+    assert results["spans_built"] == 6_000
+    assert results["orphan_records"] == 0
+    assert results["anomalies"] == 0

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Timeline tour: per-packet span trees for the OVS case study.
+
+Runs Case III of the paper's §IV-C study (Sockperf through OVS with
+bulk iPerf on two ingress ports) with vNetTracer probes, then shows the
+span-based view of the same data (docs/TIMELINES.md):
+
+1. reconstruct every traced packet into a span tree
+   (packet > device / wire spans, hop leaves);
+2. print the first trees plus the critical path of the slowest packet;
+3. aggregate per-hop p50/p95/p99 and flag anomalous spans;
+4. export the whole forest as Chrome trace-event JSON -- open the file
+   at https://ui.perfetto.dev to scrub through the packets.
+
+Run:  python examples/timeline_tour.py [out.json]
+"""
+
+import sys
+
+from repro.analysis.reports import anomaly_table, format_ns, hop_stats_table
+from repro.experiments.ovs_case import run_case
+from repro.tracing import chrome_trace_json, critical_path, timeline_text
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "ovs_case_iii_timeline.json"
+
+    print("== OVS Case III, traced (sender stack / OVS / receiver stack) ==")
+    result = run_case("III", duration_ns=300_000_000, trace=True)
+    forest = result.tracer.span_forest(result.chain)
+    print(timeline_text(forest, limit=2))
+
+    slowest = max(forest, key=lambda tree: tree.duration_ns)
+    print(f"\ncritical path of the slowest packet (0x{slowest.trace_id:08x}):")
+    for span in critical_path(slowest):
+        print(f"  {span.kind:7s} {span.name:40s} {format_ns(span.duration_ns)}")
+
+    print("\nper-hop percentiles:")
+    print(hop_stats_table(forest))
+
+    print("\nanomalous spans (> 3x their hop median):")
+    print(anomaly_table(forest))
+
+    document = chrome_trace_json(forest)
+    with open(out_path, "w") as handle:
+        handle.write(document)
+    print(f"\nwrote {out_path} ({len(forest)} trees) -- "
+          "load it at https://ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,7 @@ from repro.workloads.stats import LatencySummary
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.obs.sampler import StatsSampler
+    from repro.tracing.spans import SpanForest
 
 
 def format_ns(value_ns: float) -> str:
@@ -67,24 +68,90 @@ def latency_table(summaries: Dict[str, LatencySummary]) -> str:
 
 
 def decomposition_table(segments: Sequence[SegmentLatency]) -> str:
-    """End-to-end decomposition with per-segment share of the total."""
-    summaries = [segment.summary() for segment in segments]
-    total_avg = sum(s.avg_ns for s in summaries)
+    """End-to-end decomposition with per-segment share of the total.
+
+    Segments with no samples (an empty flow, or a trace seen at only
+    one tracepoint) render as explicit zero-count rows instead of
+    raising -- operators read this table precisely when something along
+    the chain collected nothing."""
+    summaries = [
+        segment.summary() if segment.latencies_ns else None for segment in segments
+    ]
+    total_avg = sum(s.avg_ns for s in summaries if s is not None)
     rows = []
     for segment, summary in zip(segments, summaries):
+        name = f"{segment.from_label} -> {segment.to_label}"
+        if summary is None:
+            rows.append([name, 0, "-", "-", "-"])
+            continue
         share = 100.0 * summary.avg_ns / total_avg if total_avg else 0.0
         rows.append(
             [
-                f"{segment.from_label} -> {segment.to_label}",
+                name,
                 summary.count,
                 format_ns(summary.avg_ns),
                 format_ns(summary.max_ns),
                 f"{share:.1f}%",
             ]
         )
-    rows.append(["TOTAL", summaries[0].count if summaries else 0,
+    counts = [s.count for s in summaries if s is not None]
+    rows.append(["TOTAL", counts[0] if counts else 0,
                  format_ns(total_avg), "", "100.0%"])
     return _table(["segment", "n", "avg", "max", "share"], rows)
+
+
+def span_decomposition_table(forest: "SpanForest", chain: Sequence[str]) -> str:
+    """The decomposition table computed from reconstructed span trees.
+
+    Same rendering as :func:`decomposition_table`, but the per-segment
+    latencies come from the span layer's wire/hop leaves
+    (``repro.tracing``), so a flow's span durations and its metric-layer
+    decomposition can be compared side by side."""
+    from repro.tracing.critical import segments_from_forest
+
+    return decomposition_table(segments_from_forest(forest, chain))
+
+
+def hop_stats_table(forest: "SpanForest") -> str:
+    """Per-hop percentile table across every tree in a span forest:
+    the critical-path analyzer's p50/p95/p99 view (docs/TIMELINES.md)."""
+    from repro.tracing.critical import aggregate_hops
+
+    rows = []
+    for stats in aggregate_hops(forest):
+        rows.append(
+            [
+                stats.name,
+                stats.kind,
+                stats.count,
+                format_ns(stats.avg_ns),
+                format_ns(stats.p50_ns),
+                format_ns(stats.p95_ns),
+                format_ns(stats.p99_ns),
+                format_ns(stats.max_ns),
+            ]
+        )
+    return _table(["hop", "kind", "n", "avg", "p50", "p95", "p99", "max"], rows)
+
+
+def anomaly_table(forest: "SpanForest", factor: float = 3.0) -> str:
+    """Spans exceeding ``factor`` x their hop's flow median, worst first."""
+    from repro.tracing.critical import flag_anomalies
+
+    anomalies = flag_anomalies(forest, factor=factor)
+    if not anomalies:
+        return f"no spans above {factor:g}x their hop median"
+    rows = [
+        [
+            f"0x{a.trace_id:08x}",
+            a.name,
+            format_ns(a.duration_ns),
+            format_ns(a.median_ns),
+            f"{a.ratio:.1f}x",
+        ]
+        for a in anomalies
+    ]
+    return _table(["trace", "hop", "duration", "flow median", "ratio"], rows)
 
 
 def pipeline_health_table(registry: MetricsRegistry) -> str:

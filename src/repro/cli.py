@@ -6,6 +6,8 @@
     python -m repro.cli run all
     python -m repro.cli stats
     python -m repro.cli stats --format prom --duration-ms 500
+    python -m repro.cli timeline --format chrome --out trace.json
+    python -m repro.cli timeline --trace-id 0xc2a5e8a3 --format text
     python -m repro.cli bench --preset smoke
     python -m repro.cli bench --preset smoke --compare benchmarks/baseline.json
 
@@ -16,6 +18,11 @@ whole evaluation (§IV).  The same runners back `benchmarks/`.
 layer attached (see docs/OBSERVABILITY.md) and emits the pipeline's own
 health metrics as a table, JSON, Prometheus text, or the sampled time
 series.
+
+`timeline` runs the same scenario, reconstructs per-packet span trees
+(see docs/TIMELINES.md), and exports them as Chrome trace-event JSON
+(loadable in Perfetto / chrome://tracing), OTLP-style JSON, or an
+indented text rendering with critical-path and anomaly summaries.
 
 `bench` runs the benchmark harness over every `benchmarks/bench_*.py`
 scenario, writes a schema-versioned `BENCH_<timestamp>.json`, and can
@@ -187,6 +194,83 @@ def _stats(args) -> None:
         print(pipeline_health_report(result.registry, sampler=result.sampler))
 
 
+def _timeline(args) -> int:
+    from repro.obs.scenario import QUICKSTART_CHAIN, run_quickstart_scenario
+    from repro.tracing import (
+        aggregate_hops,
+        chrome_trace_json,
+        critical_path,
+        flag_anomalies,
+        otlp_json,
+        timeline_text,
+    )
+    from repro.tracing.spans import SpanForest
+
+    result = run_quickstart_scenario(
+        seed=args.seed, duration_ns=args.duration_ns
+    )
+    tracer = result.tracer
+    complete_only = args.flow == "complete"
+    forest = tracer.span_forest(QUICKSTART_CHAIN, complete_only=complete_only)
+
+    if args.trace_id is not None:
+        tree = forest.tree_for(args.trace_id)
+        if tree is None:
+            known = tracer.db.trace_ids()
+            print(
+                f"timeline: trace 0x{args.trace_id:08x} not found "
+                f"({len(known)} traces collected)",
+                file=sys.stderr,
+            )
+            return 1
+        forest = SpanForest(
+            trees=[tree],
+            orphan_records=forest.orphan_records,
+            control_root=forest.control_root,
+        )
+
+    if args.format == "chrome":
+        output = chrome_trace_json(forest)
+    elif args.format == "otlp":
+        output = otlp_json(forest)
+    else:
+        from repro.analysis.reports import format_ns
+
+        lines = [timeline_text(forest)]
+        if forest.trees:
+            path = critical_path(forest.trees[0])
+            lines.append("critical path (first tree):")
+            lines.extend(
+                f"  {span.name}: {format_ns(span.duration_ns)}" for span in path
+            )
+            lines.append("per-hop percentiles:")
+            for stats in aggregate_hops(forest):
+                lines.append(
+                    f"  {stats.name}: p50 {format_ns(stats.p50_ns)} "
+                    f"p95 {format_ns(stats.p95_ns)} p99 {format_ns(stats.p99_ns)}"
+                )
+            anomalies = flag_anomalies(forest, factor=args.anomaly_factor)
+            lines.append(
+                f"anomalies (> {args.anomaly_factor:g}x hop median): "
+                f"{len(anomalies)}"
+            )
+            lines.extend(
+                f"  0x{a.trace_id:08x} {a.name}: {format_ns(a.duration_ns)} "
+                f"({a.ratio:.1f}x median {format_ns(a.median_ns)})"
+                for a in anomalies[:10]
+            )
+        output = "\n".join(lines) + "\n"
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(output)
+        print(f"wrote {args.out} ({len(forest)} trees, "
+              f"{forest.span_count()} spans)")
+    else:
+        print(output, end="")
+    return 0
+
+
 def _bench(args) -> int:
     from repro.bench import (
         build_report,
@@ -246,6 +330,16 @@ def _bench(args) -> int:
         return 2
 
 
+def _trace_id(text: str) -> int:
+    """Trace IDs as the tools print them: 0x-prefixed hex or decimal."""
+    try:
+        return int(text, 0)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a trace ID like 0xc2a5e8a3 or 1234, got {text!r}"
+        )
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value <= 0:
@@ -275,6 +369,30 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stats sampler period (virtual ms)")
     stats.add_argument("--format", choices=("table", "json", "prom", "series"),
                        default="table", help="output format")
+    timeline = sub.add_parser(
+        "timeline",
+        help="reconstruct per-packet span trees and export a timeline "
+             "(docs/TIMELINES.md)",
+    )
+    timeline.add_argument("--seed", type=int, default=42)
+    timeline.add_argument("--duration-ms", type=_positive_int, default=1000,
+                          help="virtual duration of the scenario")
+    timeline.add_argument("--trace-id", type=_trace_id, default=None,
+                          help="export a single trace (hex like 0xc2a5e8a3 "
+                               "or decimal)")
+    timeline.add_argument("--flow", choices=("complete", "all"),
+                          default="complete",
+                          help="'complete' keeps only traces observed at "
+                               "every tracepoint; 'all' keeps partial ones")
+    timeline.add_argument("--format", choices=("chrome", "otlp", "text"),
+                          default="chrome",
+                          help="chrome = Perfetto-loadable trace-event JSON; "
+                               "otlp = OTLP-style JSON; text = indented trees")
+    timeline.add_argument("--out", metavar="PATH", default=None,
+                          help="write to a file instead of stdout")
+    timeline.add_argument("--anomaly-factor", type=float, default=3.0,
+                          help="text format: flag spans above this multiple "
+                               "of their hop's flow median")
     bench = sub.add_parser(
         "bench", help="run the benchmark harness over benchmarks/bench_*.py"
     )
@@ -314,6 +432,8 @@ def main(argv=None) -> int:
     if args.command == "stats":
         _stats(args)
         return 0
+    if args.command == "timeline":
+        return _timeline(args)
     if args.seed is None:
         # Each runner has its own default seed; expose a common one.
         class _Defaults:

@@ -94,6 +94,11 @@ class Agent:
         self.local_store: List[bytes] = []
         self.batches_sent = 0
         self.records_forwarded = 0
+        # (ship_start_ns, delivered_ns, node, records) per batch shipped
+        # online -- the agent->collector legs of the control-plane
+        # timeline (offline pulls are the master's work, not the
+        # agent's, and are logged by the collector only).
+        self.ship_log: List[Tuple[int, int, str, int]] = []
         # Every program this agent ever loaded (kept across teardown so
         # the obs layer's eBPF counters stay monotone).
         self.loaded_programs: List[BPFProgram] = []
@@ -234,8 +239,12 @@ class Agent:
         self.records_forwarded += len(batch)
         self._count_shipment(len(batch))
         records = unpack_batch(batch)
+        shipped_at = self.engine.now
 
         def deliver() -> None:
+            self.ship_log.append(
+                (shipped_at, self.engine.now, self.node.name, len(records))
+            )
             self.collector.receive_batch(self.node.name, records)
 
         # Online shipping consumes agent CPU and takes network time.
@@ -252,7 +261,9 @@ class Agent:
         self.records_forwarded += len(records)
         self.batches_sent += 1
         self._count_shipment(len(records))
-        self.collector.receive_batch(self.node.name, records)
+        # Offline pull: the master collected, the agent did not report
+        # -- must not refresh the agent's heartbeat (see collector docs).
+        self.collector.receive_batch(self.node.name, records, liveness=False)
         return len(records)
 
     # -- heartbeats -------------------------------------------------------------

@@ -12,6 +12,14 @@ zero offset -- deploy tracing after synchronization (as the quickstart
 does) for aligned cross-node latencies.  Because agents report
 periodically, the collector doubles as a heartbeat monitor "to
 guarantee that the agents work properly".
+
+All liveness bookkeeping runs on the *simulation clock* (``engine.now``,
+master time): registration, heartbeats, and online batch arrivals each
+stamp the current virtual time.  Offline collection (the master pulling
+an agent's local store at the end of a run) is *not* a liveness signal
+-- the agent did not report, the master reached out -- so it never
+refreshes the heartbeat stamp; an agent that went silent mid-run stays
+stale through final collection.
 """
 
 from __future__ import annotations
@@ -26,6 +34,7 @@ from repro.sim.engine import Engine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.agent import Agent
+    from repro.tracing.reconstruct import SpanAssembler
 
 
 class RawDataCollector:
@@ -39,12 +48,16 @@ class RawDataCollector:
     ):
         self.engine = engine
         self.db = db or TraceDB()
+        self.registry = registry
         self.agents: Dict[str, "Agent"] = {}
         self._labels: Dict[int, str] = {}  # tracepoint_id -> label
         self._last_heartbeat_ns: Dict[str, int] = {}
         self.batches_received = 0
         self.records_received = 0
         self.unknown_tracepoint_records = 0
+        # (arrival_ns, node, records) per ingested batch, for the
+        # control-plane track of the span timeline.
+        self.batch_log: List[Tuple[int, str, int]] = []
 
         self._m_batches = self._m_records = self._m_unknown = None
         if registry is not None:
@@ -71,9 +84,16 @@ class RawDataCollector:
 
     # -- ingest -----------------------------------------------------------------
 
-    def receive_batch(self, node: str, records: List[TraceRecord]) -> None:
+    def receive_batch(
+        self, node: str, records: List[TraceRecord], liveness: bool = True
+    ) -> None:
         """Ingest one batch; timestamps are aligned by ``TraceDB.insert``
-        using the node's registered skew offset (see the module docstring)."""
+        using the node's registered skew offset (see the module docstring).
+
+        ``liveness`` controls whether the batch refreshes the node's
+        heartbeat stamp: online shipments do (the agent reported on its
+        own), offline pulls must pass ``False`` (the master collected; a
+        dead agent's buffered records arriving must not mark it alive)."""
         self.batches_received += 1
         if self._m_batches is not None:
             self._m_batches.inc()
@@ -88,7 +108,9 @@ class RawDataCollector:
             self.records_received += 1
         if self._m_records is not None:
             self._m_records.inc(len(records))
-        self._last_heartbeat_ns[node] = self.engine.now
+        self.batch_log.append((self.engine.now, node, len(records)))
+        if liveness:
+            self._last_heartbeat_ns[node] = self.engine.now
 
     def collect_all_offline(self) -> int:
         """Pull every agent's local store (offline collection mode)."""
@@ -113,6 +135,15 @@ class RawDataCollector:
             for node, last in self._last_heartbeat_ns.items()
             if now - last > max_age_ns
         ]
+
+    # -- span feed -------------------------------------------------------------
+
+    def span_feed(self) -> "SpanAssembler":
+        """A span assembler over this collector's database, exporting
+        into the same metrics registry (``docs/TIMELINES.md``)."""
+        from repro.tracing.reconstruct import SpanAssembler
+
+        return SpanAssembler(self.db, registry=self.registry)
 
     def _staleness_samples(self) -> Dict[Tuple[str], float]:
         """Pull source for ``vnt_collector_heartbeat_staleness_ns``."""

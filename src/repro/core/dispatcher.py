@@ -10,7 +10,7 @@ monitored network -- the programmability claim of §III-D.
 
 from __future__ import annotations
 
-from typing import Dict, List, TYPE_CHECKING
+from typing import Dict, List, Tuple, TYPE_CHECKING
 
 from repro.core.config import ControlPackage, TracingSpec
 from repro.sim.engine import Engine
@@ -31,6 +31,10 @@ class ControlDataDispatcher:
         self.master_name = master_name
         self.agents: Dict[str, "Agent"] = {}
         self.deployments = 0
+        # (dispatch_ns, installed_ns, node) per delivered control
+        # package -- the dispatcher->agent legs of the control-plane
+        # timeline (docs/TIMELINES.md).
+        self.deploy_log: List[Tuple[int, int, str]] = []
 
     def register_agent(self, agent: "Agent") -> None:
         self.agents[agent.node.name] = agent
@@ -60,10 +64,18 @@ class ControlDataDispatcher:
                     f"(have {sorted(self.agents)})"
                 )
             self.engine.schedule(
-                spec.global_config.control_latency_ns, agent.install, package
+                spec.global_config.control_latency_ns,
+                self._deliver,
+                agent,
+                package,
+                self.engine.now,
             )
         self.deployments += 1
         return packages
+
+    def _deliver(self, agent: "Agent", package: ControlPackage, sent_ns: int) -> None:
+        agent.install(package)
+        self.deploy_log.append((sent_ns, self.engine.now, package.node))
 
     def undeploy_all(self) -> None:
         for agent in self.agents.values():

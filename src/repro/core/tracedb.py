@@ -48,6 +48,11 @@ class TraceDB:
     def clock_skew(self, node: str) -> int:
         return self._skew_ns.get(node, 0)
 
+    def clock_offsets(self) -> Dict[str, int]:
+        """Every registered per-node alignment offset (a copy) -- the
+        corrections the span layer stamps onto device spans."""
+        return dict(self._skew_ns)
+
     # -- ingest ------------------------------------------------------------------
 
     def insert(self, node: str, label: str, record: TraceRecord) -> TraceRow:
@@ -78,6 +83,11 @@ class TraceDB:
 
     def rows_for_trace(self, trace_id: int) -> List[TraceRow]:
         return sorted(self._by_trace_id.get(trace_id, []), key=lambda r: r.timestamp_ns)
+
+    def trace_ids(self) -> List[int]:
+        """Every indexed trace ID, in first-seen (insertion) order --
+        the deterministic iteration order span reconstruction uses."""
+        return list(self._by_trace_id)
 
     def trace_ids_at(self, label: str) -> Dict[int, TraceRow]:
         """First row per trace ID at one tracepoint (dup-safe)."""

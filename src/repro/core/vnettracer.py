@@ -13,6 +13,7 @@ Typical use (mirrors the §III-A walkthrough):
     ... run the experiment ...
     tracer.collect()                       # offline collection
     segments = tracer.decompose([...])     # metrics over the TraceDB
+    forest = tracer.span_forest([...])     # per-packet span trees
 """
 
 from __future__ import annotations
@@ -72,6 +73,7 @@ class VNetTracer:
         self.clock_estimates: Dict[str, SkewEstimate] = {}
         self.sampler: Optional[StatsSampler] = None
         self._sync_programs: List = []
+        self._span_assembler = None
         register_ebpf_metrics(self.obs, self._iter_programs)
 
     # -- setup ------------------------------------------------------------
@@ -137,6 +139,48 @@ class VNetTracer:
     def collect(self) -> int:
         """Offline collection: drain every agent's local store."""
         return self.collector.collect_all_offline()
+
+    # -- span timelines ---------------------------------------------------------
+
+    def span_assembler(self):
+        """A :class:`~repro.tracing.reconstruct.SpanAssembler` over this
+        tracer's database, exporting into ``self.obs`` (cached so the
+        tracing-stage metrics register once)."""
+        if self._span_assembler is None:
+            self._span_assembler = self.collector.span_feed()
+        return self._span_assembler
+
+    def span_forest(
+        self,
+        chain: Optional[Sequence[str]] = None,
+        trace_ids: Optional[Sequence[int]] = None,
+        complete_only: bool = True,
+        include_control: bool = True,
+    ):
+        """Reconstruct per-packet span trees (docs/TIMELINES.md).
+
+        With a ``chain``, only traces observed at every tracepoint
+        contribute (set ``complete_only=False`` to keep partial ones).
+        ``include_control`` adds the dispatcher->agent->collector
+        control-plane track."""
+        from repro.tracing.reconstruct import build_control_root
+
+        control = None
+        if include_control:
+            control = build_control_root(
+                self.dispatcher.deploy_log,
+                [entry for agent in self.agents.values() for entry in agent.ship_log],
+            )
+        return self.span_assembler().forest(
+            trace_ids=trace_ids,
+            chain=chain,
+            complete_only=complete_only,
+            control_root=control,
+        )
+
+    def span_tree(self, trace_id: int, chain: Optional[Sequence[str]] = None):
+        """One packet's reconstructed span tree (or ``None``)."""
+        return self.span_assembler().tree(trace_id, chain=chain)
 
     # -- metrics convenience --------------------------------------------------------------
 

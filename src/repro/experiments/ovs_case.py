@@ -76,6 +76,11 @@ class OVSCaseResult:
     iperf_goodputs_bps: List[float]
     policer_drops: int
     queue_drops: int
+    # Populated when ``trace=True``: the tracer (its TraceDB holds the
+    # collected records, so span timelines can be built afterwards --
+    # see docs/TIMELINES.md) and the tracepoint chain in path order.
+    tracer: Optional[VNetTracer] = None
+    chain: Optional[List[str]] = None
 
 
 def run_case(
@@ -186,6 +191,7 @@ def run_case(
     engine.run(until=WARMUP_NS + duration_ns + 200_000_000)
 
     decomposition = None
+    chain = None
     if tracer is not None:
         tracer.collect()
         chain = [labels["send"], labels["ovs_in"], labels["ovs_out"], labels["recv"]]
@@ -206,6 +212,8 @@ def run_case(
             p.policer_drops for p in scene.ovs.ports
         ),
         queue_drops=sum(p.queue_drops for p in scene.ovs.ports),
+        tracer=tracer,
+        chain=chain,
     )
 
 

@@ -9,7 +9,8 @@ Stages mirror the pipeline of DESIGN.md §3: ``ringbuffer`` (the
 in-kernel record buffer), ``agent`` (the per-node daemon), ``collector``
 (master-side ingest + heartbeats), ``clocksync`` (Cristian rounds),
 ``ebpf`` (the VM/JIT executing tracing scripts), ``sampler`` (the
-observability layer itself).
+observability layer itself), ``tracing`` (span-tree reconstruction,
+see ``docs/TIMELINES.md``).
 """
 
 from __future__ import annotations
@@ -24,6 +25,7 @@ STAGE_COLLECTOR = "collector"
 STAGE_CLOCKSYNC = "clocksync"
 STAGE_EBPF = "ebpf"
 STAGE_SAMPLER = "sampler"
+STAGE_TRACING = "tracing"
 
 # Fixed bucket bounds (upper edges; +Inf is implicit).  Batch sizes are
 # records per flush; latencies are nanoseconds of virtual time.
@@ -160,6 +162,29 @@ SAMPLER_SAMPLES = MetricSpec(
     "Registry snapshots taken by the stats sampler.",
     "samples", STAGE_SAMPLER)
 
+# -- span reconstruction (tracing/reconstruct.py) -----------------------------
+
+SPAN_TREES = MetricSpec(
+    "vnt_span_trees_built_total", "counter",
+    "Per-packet span trees reconstructed from collected trace records.",
+    "trees", STAGE_TRACING)
+SPAN_SPANS = MetricSpec(
+    "vnt_span_spans_total", "counter",
+    "Spans emitted across all reconstructed trees (packet roots, "
+    "device runs, hops, wire gaps).",
+    "spans", STAGE_TRACING)
+SPAN_ORPHANS = MetricSpec(
+    "vnt_span_orphan_records_total", "counter",
+    "Trace records that could not be folded into any span tree: "
+    "single-tracepoint traces, incomplete traces skipped by the "
+    "completeness filter, and duplicate observations.",
+    "records", STAGE_TRACING)
+SPAN_ANOMALIES = MetricSpec(
+    "vnt_span_anomalous_total", "counter",
+    "Leaf spans flagged as anomalous (duration above N x the flow "
+    "median for that hop).",
+    "spans", STAGE_TRACING)
+
 ALL_METRICS: Tuple[MetricSpec, ...] = (
     RING_APPENDED, RING_DROPPED, RING_FLUSHES, RING_FLUSH_BATCH, RING_OCCUPANCY_HWM,
     AGENT_PROBE_FIRES, AGENT_FLUSH_LATENCY, AGENT_BATCHES_SENT,
@@ -169,9 +194,10 @@ ALL_METRICS: Tuple[MetricSpec, ...] = (
     CLOCKSYNC_ROUNDS, CLOCKSYNC_SKEW, CLOCKSYNC_RESIDUAL, CLOCKSYNC_RTT_MIN,
     EBPF_RUNS, EBPF_INSNS, EBPF_HELPER_CALLS, EBPF_EXEC_NS, EBPF_PROGRAMS_LOADED,
     SAMPLER_SAMPLES,
+    SPAN_TREES, SPAN_SPANS, SPAN_ORPHANS, SPAN_ANOMALIES,
 )
 
 ALL_STAGES: Tuple[str, ...] = (
     STAGE_RINGBUFFER, STAGE_AGENT, STAGE_COLLECTOR, STAGE_CLOCKSYNC,
-    STAGE_EBPF, STAGE_SAMPLER,
+    STAGE_EBPF, STAGE_SAMPLER, STAGE_TRACING,
 )

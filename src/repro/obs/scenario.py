@@ -12,7 +12,7 @@ quickstart scenario" is a tested property, not a claim.
 
 from __future__ import annotations
 
-from typing import NamedTuple
+from typing import NamedTuple, TYPE_CHECKING
 
 from repro.core import FilterRule, TracepointSpec, TracingSpec, VNetTracer
 from repro.experiments.topologies import build_two_host_kvm
@@ -21,6 +21,9 @@ from repro.obs.registry import MetricsRegistry
 from repro.obs.sampler import StatsSampler
 from repro.sim.engine import Engine
 from repro.workloads.sockperf import SockperfClient, SockperfServer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.tracing.spans import SpanForest
 
 QUICKSTART_CHAIN = ["vm1:udp_send", "host1:wire-out", "host2:wire-in", "vm2:app-copy"]
 
@@ -33,6 +36,7 @@ class ScenarioResult(NamedTuple):
     registry: MetricsRegistry
     sampler: StatsSampler
     client: SockperfClient
+    forest: "SpanForest"
 
 
 def run_quickstart_scenario(
@@ -91,5 +95,8 @@ def run_quickstart_scenario(
 
     engine.run(until=duration_ns)
     tracer.collect()
+    # Reconstruct the span forest so the ``tracing`` stage of the
+    # metrics contract is exercised by every scenario run.
+    forest = tracer.span_forest(QUICKSTART_CHAIN)
     sampler.sample_now()  # final snapshot so the series covers the full run
-    return ScenarioResult(engine, tracer, tracer.obs, sampler, client)
+    return ScenarioResult(engine, tracer, tracer.obs, sampler, client, forest)

@@ -1,0 +1,53 @@
+"""Span-based trace reconstruction (timeline analysis).
+
+Turns the flat :class:`~repro.core.tracedb.TraceDB` rows the collector
+gathers into per-packet span trees, critical paths, per-hop latency
+distributions, anomaly flags, and Perfetto/OTLP timeline exports.  See
+``docs/TIMELINES.md`` and the ``repro timeline`` CLI verb.
+"""
+
+from repro.tracing.critical import (
+    Anomaly,
+    HopStats,
+    aggregate_hops,
+    critical_path,
+    flag_anomalies,
+    segments_from_forest,
+)
+from repro.tracing.export import (
+    chrome_trace_dict,
+    chrome_trace_json,
+    otlp_dict,
+    otlp_json,
+    span_tree_text,
+    timeline_text,
+)
+from repro.tracing.reconstruct import (
+    SpanAssembler,
+    build_control_root,
+    build_span_tree,
+    hop_name,
+)
+from repro.tracing.spans import Span, SpanForest, SpanTree
+
+__all__ = [
+    "Anomaly",
+    "HopStats",
+    "Span",
+    "SpanAssembler",
+    "SpanForest",
+    "SpanTree",
+    "aggregate_hops",
+    "build_control_root",
+    "build_span_tree",
+    "chrome_trace_dict",
+    "chrome_trace_json",
+    "critical_path",
+    "flag_anomalies",
+    "hop_name",
+    "otlp_dict",
+    "otlp_json",
+    "segments_from_forest",
+    "span_tree_text",
+    "timeline_text",
+]

@@ -1,0 +1,147 @@
+"""Critical-path analysis over span forests.
+
+Once every packet is a span tree, "where did this flow spend its time"
+becomes tree arithmetic:
+
+* :func:`critical_path` -- the longest root-to-leaf chain of one tree
+  (at each level, the child contributing the most time);
+* :func:`aggregate_hops` -- per-hop latency distributions across a
+  whole flow (p50/p95/p99, the Fig. 9a decomposition generalized);
+* :func:`flag_anomalies` -- spans that took more than N x the flow's
+  median for that hop (the "one packet hit a full queue" detector);
+* :func:`segments_from_forest` -- adapt a forest back into the
+  :class:`~repro.core.metrics.SegmentLatency` shape so the existing
+  report tables render from spans instead of ad-hoc row grouping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Sequence
+
+from repro.core.metrics import SegmentLatency
+from repro.tracing.reconstruct import hop_name
+from repro.tracing.spans import Span, SpanForest, SpanTree
+from repro.workloads.stats import percentile
+
+
+class HopStats(NamedTuple):
+    """Latency distribution of one hop across a flow."""
+
+    name: str
+    kind: str  # "hop" (same node) or "wire" (cross node)
+    count: int
+    avg_ns: float
+    p50_ns: int
+    p95_ns: int
+    p99_ns: int
+    max_ns: int
+
+
+class Anomaly(NamedTuple):
+    """One span that exceeded ``factor`` x its hop's flow median."""
+
+    trace_id: int
+    name: str
+    duration_ns: int
+    median_ns: float
+    ratio: float
+
+
+def critical_path(tree: SpanTree) -> List[Span]:
+    """Root-to-leaf chain following the slowest child at each level.
+
+    Ties break toward the earlier child, so the result is deterministic
+    for any input ordering."""
+    path = [tree.root]
+    span = tree.root
+    while span.children:
+        span = max(span.children, key=lambda child: child.duration_ns)
+        path.append(span)
+    return path
+
+
+def _leaf_durations(forest: SpanForest):
+    """Durations and kind of every leaf segment, keyed by hop name in
+    first-appearance order (dicts preserve insertion order)."""
+    durations: Dict[str, List[int]] = {}
+    kinds: Dict[str, str] = {}
+    for tree in forest:
+        for span in tree.hop_spans():
+            durations.setdefault(span.name, []).append(span.duration_ns)
+            kinds.setdefault(span.name, span.kind)
+    return durations, kinds
+
+
+def aggregate_hops(forest: SpanForest) -> List[HopStats]:
+    """Per-hop latency summaries across the forest, in path order."""
+    durations, kinds = _leaf_durations(forest)
+    stats = []
+    for name, values in durations.items():
+        ordered = sorted(values)
+        stats.append(
+            HopStats(
+                name=name,
+                kind=kinds[name],
+                count=len(ordered),
+                avg_ns=sum(ordered) / len(ordered),
+                p50_ns=percentile(ordered, 0.50),
+                p95_ns=percentile(ordered, 0.95),
+                p99_ns=percentile(ordered, 0.99),
+                max_ns=ordered[-1],
+            )
+        )
+    return stats
+
+
+def _median(ordered: Sequence[int]) -> float:
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def flag_anomalies(forest: SpanForest, factor: float = 3.0) -> List[Anomaly]:
+    """Leaf spans whose duration exceeds ``factor`` x the flow median
+    for that hop.  Zero-median hops (back-to-back tracepoints) never
+    flag; ordering is (hop first-appearance, then forest order)."""
+    if factor <= 0:
+        raise ValueError(f"anomaly factor must be positive, got {factor}")
+    durations, _ = _leaf_durations(forest)
+    medians = {name: _median(sorted(values)) for name, values in durations.items()}
+    anomalies = []
+    for name, median in medians.items():
+        if median <= 0:
+            continue
+        threshold = factor * median
+        for tree in forest:
+            for span in tree.hop_spans():
+                if span.name == name and span.duration_ns > threshold:
+                    anomalies.append(
+                        Anomaly(
+                            trace_id=tree.trace_id,
+                            name=name,
+                            duration_ns=span.duration_ns,
+                            median_ns=median,
+                            ratio=span.duration_ns / median,
+                        )
+                    )
+    return anomalies
+
+
+def segments_from_forest(
+    forest: SpanForest, chain: Sequence[str]
+) -> List[SegmentLatency]:
+    """The forest's leaf durations in :class:`SegmentLatency` form, one
+    segment per consecutive chain pair -- what
+    :func:`repro.analysis.reports.decomposition_table` renders.  Only
+    trees observed at both endpoints of a pair contribute to it."""
+    if len(chain) < 2:
+        raise ValueError("decomposition needs at least two tracepoints")
+    by_name: Dict[str, List[int]] = {}
+    for tree in forest:
+        for span in tree.hop_spans():
+            by_name.setdefault(span.name, []).append(span.duration_ns)
+    return [
+        SegmentLatency(a, b, by_name.get(hop_name(a, b), []))
+        for a, b in zip(chain, chain[1:])
+    ]

@@ -1,0 +1,238 @@
+"""Timeline exporters: Chrome trace-event JSON and OTLP-style JSON.
+
+Two interchange formats plus a terminal rendering:
+
+* :func:`chrome_trace_dict` / :func:`chrome_trace_json` -- the Chrome
+  trace-event format (``ph: "X"`` complete events), directly loadable
+  in Perfetto (https://ui.perfetto.dev) and ``chrome://tracing``.  Each
+  packet becomes a process row, each node a thread row inside it, and
+  the control plane (deploys, batch shipments) process 0.
+* :func:`otlp_dict` / :func:`otlp_json` -- an OTLP/JSON-style
+  ``resourceSpans`` document (the OpenTelemetry trace shape), with the
+  32-bit in-packet ID widened into the 128-bit ``traceId`` and span IDs
+  derived deterministically from (trace ID, preorder index).
+* :func:`timeline_text` -- indented span trees for the terminal.
+
+Determinism: both JSON serializations are canonical (sorted keys, fixed
+separators, no wall-clock fields), so two runs of the same scenario
+produce byte-identical documents -- the property the determinism CI job
+diffs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.analysis.reports import format_ns
+from repro.tracing.spans import Span, SpanForest, SpanTree
+
+# Synthetic trace ID for the control-plane track: one past the u32
+# range, so it can never collide with an in-packet ID.
+CONTROL_TRACE_ID = 1 << 32
+
+_CANONICAL = {"sort_keys": True, "separators": (",", ":")}
+
+
+def _canonical_json(document: Dict) -> str:
+    return json.dumps(document, **_CANONICAL) + "\n"
+
+
+# -- Chrome trace events ------------------------------------------------------
+
+
+def _us(value_ns: int) -> float:
+    """Trace-event timestamps are microseconds; keep ns precision."""
+    return value_ns / 1000.0
+
+
+def _chrome_span_events(
+    span: Span, pid: int, tids: Dict[str, int], events: List[Dict]
+) -> None:
+    tid = tids.setdefault(span.node, len(tids))
+    events.append(
+        {
+            "name": span.name,
+            "cat": span.kind,
+            "ph": "X",
+            "pid": pid,
+            "tid": tid,
+            "ts": _us(span.start_ns),
+            "dur": _us(span.duration_ns),
+            "args": {key: span.attributes[key] for key in sorted(span.attributes)},
+        }
+    )
+    for child in span.children:
+        _chrome_span_events(child, pid, tids, events)
+
+
+def _chrome_process(root: Span, pid: int, label: str, events: List[Dict]) -> None:
+    events.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": label},
+        }
+    )
+    tids: Dict[str, int] = {}
+    _chrome_span_events(root, pid, tids, events)
+    for node, tid in tids.items():
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": node},
+            }
+        )
+
+
+def chrome_trace_dict(forest: SpanForest) -> Dict:
+    """The forest as a Chrome trace-event document (Perfetto-loadable)."""
+    events: List[Dict] = []
+    if forest.control_root is not None:
+        _chrome_process(forest.control_root, 0, "control-plane", events)
+    for index, tree in enumerate(forest, start=1):
+        _chrome_process(
+            tree.root, index, f"packet 0x{tree.trace_id:08x}", events
+        )
+    return {
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "generator": "repro.tracing",
+            "trees": len(forest.trees),
+            "orphan_records": forest.orphan_records,
+        },
+        "traceEvents": events,
+    }
+
+
+def chrome_trace_json(forest: SpanForest) -> str:
+    """Canonical (byte-stable) serialization of :func:`chrome_trace_dict`."""
+    return _canonical_json(chrome_trace_dict(forest))
+
+
+# -- OTLP-style JSON ----------------------------------------------------------
+
+
+def _otlp_attributes(span: Span) -> List[Dict]:
+    attributes = [{"key": "span.kind", "value": {"stringValue": span.kind}}]
+    if span.node:
+        attributes.append({"key": "node", "value": {"stringValue": span.node}})
+    for key in sorted(span.attributes):
+        value = span.attributes[key]
+        if isinstance(value, bool):
+            encoded = {"boolValue": value}
+        elif isinstance(value, int):
+            encoded = {"intValue": str(value)}  # OTLP/JSON int64s are strings
+        elif isinstance(value, float):
+            encoded = {"doubleValue": value}
+        else:
+            encoded = {"stringValue": str(value)}
+        attributes.append({"key": key, "value": encoded})
+    return attributes
+
+
+def _otlp_spans(
+    span: Span,
+    trace_id: int,
+    parent_span_id: str,
+    counter: List[int],
+    out: List[Dict],
+) -> None:
+    span_id = f"{trace_id & 0xFFFFFFFF:08x}{counter[0]:08x}"
+    counter[0] += 1
+    out.append(
+        {
+            "traceId": f"{trace_id:032x}",
+            "spanId": span_id,
+            "parentSpanId": parent_span_id,  # "" marks a root span
+            "name": span.name,
+            "kind": "SPAN_KIND_INTERNAL",
+            "startTimeUnixNano": str(span.start_ns),
+            "endTimeUnixNano": str(span.end_ns),
+            "attributes": _otlp_attributes(span),
+        }
+    )
+    for child in span.children:
+        _otlp_spans(child, trace_id, span_id, counter, out)
+
+
+def otlp_dict(forest: SpanForest) -> Dict:
+    """The forest as an OTLP-style ``resourceSpans`` document."""
+    spans: List[Dict] = []
+    for tree in forest:
+        _otlp_spans(tree.root, tree.trace_id, "", [0], spans)
+    if forest.control_root is not None:
+        _otlp_spans(forest.control_root, CONTROL_TRACE_ID, "", [0], spans)
+    return {
+        "resourceSpans": [
+            {
+                "resource": {
+                    "attributes": [
+                        {
+                            "key": "service.name",
+                            "value": {"stringValue": "vnettracer-repro"},
+                        }
+                    ]
+                },
+                "scopeSpans": [
+                    {
+                        "scope": {"name": "repro.tracing", "version": "1"},
+                        "spans": spans,
+                    }
+                ],
+            }
+        ]
+    }
+
+
+def otlp_json(forest: SpanForest) -> str:
+    """Canonical (byte-stable) serialization of :func:`otlp_dict`."""
+    return _canonical_json(otlp_dict(forest))
+
+
+# -- terminal rendering -------------------------------------------------------
+
+
+def span_tree_text(tree: SpanTree) -> str:
+    """One tree as indented text, durations humanized."""
+    lines: List[str] = []
+
+    def render(span: Span, depth: int) -> None:
+        pad = "  " * depth
+        detail = ""
+        if span.kind == "device":
+            offset = span.attributes.get("clock_offset_ns", 0)
+            detail = f"  [clock offset {offset:+d} ns]"
+        duration = format_ns(span.duration_ns)
+        lines.append(f"{pad}{span.kind:7s} {span.name:44s} {duration:>10s}{detail}")
+        for child in span.children:
+            render(child, depth + 1)
+
+    render(tree.root, 0)
+    return "\n".join(lines)
+
+
+def timeline_text(forest: SpanForest, limit: Optional[int] = 3) -> str:
+    """A forest summary plus the first ``limit`` trees (None = all)."""
+    lines = [
+        f"span forest: {len(forest.trees)} trees, {forest.span_count()} spans, "
+        f"{forest.orphan_records} orphan records"
+    ]
+    trees = forest.trees if limit is None else forest.trees[:limit]
+    for tree in trees:
+        lines.append("")
+        lines.append(span_tree_text(tree))
+    if limit is not None and len(forest.trees) > limit:
+        lines.append("")
+        lines.append(f"... {len(forest.trees) - limit} more trees")
+    if forest.control_root is not None:
+        lines.append("")
+        lines.append(
+            span_tree_text(SpanTree(CONTROL_TRACE_ID, forest.control_root, 0))
+        )
+    return "\n".join(lines)

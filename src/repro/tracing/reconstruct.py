@@ -1,0 +1,274 @@
+"""Reconstruct per-packet span trees from collected trace records.
+
+This is the analysis-side counterpart of the paper's raw data collector
+(§III-C/D): the database holds flat rows indexed by trace ID; this
+module folds them back into the shape the packet actually travelled --
+the Fig. 9/11 latency decomposition expressed as a span tree instead of
+a bar chart.
+
+For one trace ID the algorithm is:
+
+1. pull the trace's rows (already ordered by the clock-sync-corrected
+   master timestamps -- ``TraceDB.insert`` applied each node's Cristian
+   offset at ingest);
+2. keep the earliest observation per tracepoint label (duplicates are
+   counted, not folded -- matching ``TraceDB.trace_ids_at``);
+3. group contiguous runs of records on the same node into ``device``
+   spans, consecutive tracepoint pairs inside a run into ``hop`` spans,
+   and the gap between two nodes' runs into a ``wire`` span.
+
+The resulting top-level children partition the packet span exactly, so
+per-device durations telescope to the end-to-end latency with zero
+error.  Traces seen at fewer than two tracepoints cannot form a span
+and are counted as orphan records, as are duplicate observations.
+
+Control-plane spans (dispatcher -> agent deploys, agent -> collector
+batch shipments) are assembled from the event logs those components
+keep; see :func:`build_control_root`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.tracedb import TraceDB, TraceRow
+from repro.obs import contract as obs_contract
+from repro.obs.registry import MetricsRegistry
+from repro.tracing.spans import Span, SpanForest, SpanTree
+
+
+def hop_name(from_label: str, to_label: str) -> str:
+    """The canonical leaf-segment name; shared with SegmentLatency."""
+    return f"{from_label} -> {to_label}"
+
+
+def _dedup_rows(rows: Sequence[TraceRow]) -> Tuple[List[TraceRow], int]:
+    """Earliest row per tracepoint label; returns (kept, duplicates)."""
+    seen = set()
+    kept: List[TraceRow] = []
+    duplicates = 0
+    for row in rows:
+        if row.label in seen:
+            duplicates += 1
+            continue
+        seen.add(row.label)
+        kept.append(row)
+    return kept, duplicates
+
+
+def build_span_tree(
+    db: TraceDB,
+    trace_id: int,
+    chain: Optional[Sequence[str]] = None,
+) -> Optional[SpanTree]:
+    """One packet's span tree, or ``None`` when it cannot form a span
+    (zero or one usable record).  ``chain`` restricts the tracepoints
+    considered (records at other labels are ignored, not orphaned)."""
+    rows = db.rows_for_trace(trace_id)
+    if chain is not None:
+        wanted = set(chain)
+        rows = [row for row in rows if row.label in wanted]
+    rows, duplicates = _dedup_rows(rows)
+    if len(rows) < 2:
+        return None
+
+    root = Span(
+        name=f"packet:0x{trace_id:08x}",
+        kind="packet",
+        node=rows[0].node,
+        start_ns=rows[0].timestamp_ns,
+        end_ns=rows[-1].timestamp_ns,
+        attributes={
+            "trace_id": trace_id,
+            "records": len(rows),
+            "packet_len": rows[0].packet_len,
+        },
+    )
+
+    # Contiguous same-node runs become device spans.
+    runs: List[List[TraceRow]] = [[rows[0]]]
+    for row in rows[1:]:
+        if row.node == runs[-1][-1].node:
+            runs[-1].append(row)
+        else:
+            runs.append([row])
+
+    for index, run in enumerate(runs):
+        if index > 0:
+            previous = runs[index - 1][-1]
+            root.add_child(
+                Span(
+                    name=hop_name(previous.label, run[0].label),
+                    kind="wire",
+                    node=f"{previous.node} -> {run[0].node}",
+                    start_ns=previous.timestamp_ns,
+                    end_ns=run[0].timestamp_ns,
+                    attributes={
+                        "from_node": previous.node,
+                        "to_node": run[0].node,
+                    },
+                )
+            )
+        device = root.add_child(
+            Span(
+                name=f"device:{run[0].node}",
+                kind="device",
+                node=run[0].node,
+                start_ns=run[0].timestamp_ns,
+                end_ns=run[-1].timestamp_ns,
+                attributes={
+                    "records": len(run),
+                    # The Cristian correction this node's timestamps got.
+                    "clock_offset_ns": db.clock_skew(run[0].node),
+                },
+            )
+        )
+        for row_a, row_b in zip(run, run[1:]):
+            device.add_child(
+                Span(
+                    name=hop_name(row_a.label, row_b.label),
+                    kind="hop",
+                    node=row_a.node,
+                    start_ns=row_a.timestamp_ns,
+                    end_ns=row_b.timestamp_ns,
+                    attributes={"cpu": row_a.cpu},
+                )
+            )
+
+    return SpanTree(
+        trace_id=trace_id,
+        root=root,
+        record_count=len(rows) + duplicates,
+        duplicate_records=duplicates,
+    )
+
+
+def build_control_root(
+    deploy_spans: Iterable[Tuple[int, int, str]],
+    ship_spans: Iterable[Tuple[int, int, str, int]],
+) -> Optional[Span]:
+    """The control-plane track: dispatcher -> agent deploy intervals and
+    agent -> collector batch shipments, under one synthetic root."""
+    children: List[Span] = []
+    for start_ns, end_ns, node in deploy_spans:
+        children.append(
+            Span(
+                name=f"deploy:{node}",
+                kind="control",
+                node=node,
+                start_ns=start_ns,
+                end_ns=end_ns,
+                attributes={"phase": "dispatcher -> agent"},
+            )
+        )
+    for start_ns, end_ns, node, records in ship_spans:
+        children.append(
+            Span(
+                name=f"ship:{node}",
+                kind="control",
+                node=node,
+                start_ns=start_ns,
+                end_ns=end_ns,
+                attributes={"phase": "agent -> collector", "records": records},
+            )
+        )
+    if not children:
+        return None
+    children.sort(key=lambda span: (span.start_ns, span.name))
+    root = Span(
+        name="control-plane",
+        kind="control",
+        node="master",
+        start_ns=min(span.start_ns for span in children),
+        end_ns=max(span.end_ns for span in children),
+    )
+    root.children.extend(children)
+    return root
+
+
+class SpanAssembler:
+    """Builds span forests from a :class:`TraceDB`, with observability.
+
+    When a registry is supplied the assembler registers and drives the
+    ``tracing`` stage of the metrics contract: trees built, spans
+    emitted, orphan records, and anomalous spans flagged.
+    """
+
+    def __init__(self, db: TraceDB, registry: Optional[MetricsRegistry] = None):
+        self.db = db
+        self.trees_built = 0
+        self.spans_built = 0
+        self.orphan_records = 0
+        self._m_trees = self._m_spans = self._m_orphans = self._m_anomalies = None
+        if registry is not None:
+            self._m_trees = registry.register_spec(obs_contract.SPAN_TREES)
+            self._m_spans = registry.register_spec(obs_contract.SPAN_SPANS)
+            self._m_orphans = registry.register_spec(obs_contract.SPAN_ORPHANS)
+            self._m_anomalies = registry.register_spec(obs_contract.SPAN_ANOMALIES)
+
+    def tree(
+        self, trace_id: int, chain: Optional[Sequence[str]] = None
+    ) -> Optional[SpanTree]:
+        """One packet's tree (counted like a one-tree forest)."""
+        tree = build_span_tree(self.db, trace_id, chain=chain)
+        if tree is None:
+            orphaned = len(self.db.rows_for_trace(trace_id))
+            self.orphan_records += orphaned
+            if self._m_orphans is not None and orphaned:
+                self._m_orphans.inc(orphaned)
+            return None
+        self._count_tree(tree)
+        return tree
+
+    def forest(
+        self,
+        trace_ids: Optional[Iterable[int]] = None,
+        chain: Optional[Sequence[str]] = None,
+        complete_only: bool = False,
+        control_root: Optional[Span] = None,
+    ) -> SpanForest:
+        """Assemble every requested trace (default: all trace IDs in the
+        database, in first-seen order).  With ``complete_only`` and a
+        chain, traces missing a tracepoint are skipped as incomplete
+        (the §III-C data-cleaning step) and counted as orphans."""
+        if trace_ids is None:
+            trace_ids = self.db.trace_ids()
+        complete = None
+        if complete_only and chain is not None:
+            complete = set(self.db.complete_traces(chain))
+        forest = SpanForest(control_root=control_root)
+        for trace_id in trace_ids:
+            if complete is not None and trace_id not in complete:
+                orphaned = len(self.db.rows_for_trace(trace_id))
+                forest.orphan_records += orphaned
+                continue
+            tree = build_span_tree(self.db, trace_id, chain=chain)
+            if tree is None:
+                forest.orphan_records += len(self.db.rows_for_trace(trace_id))
+                continue
+            forest.trees.append(tree)
+            forest.orphan_records += tree.duplicate_records
+        for tree in forest.trees:
+            self._count_tree(tree)
+        self.orphan_records += forest.orphan_records
+        if self._m_orphans is not None and forest.orphan_records:
+            self._m_orphans.inc(forest.orphan_records)
+        return forest
+
+    def anomalies(self, forest: SpanForest, factor: float = 3.0):
+        """Anomalous spans (see :func:`repro.tracing.critical.flag_anomalies`),
+        counted into ``vnt_span_anomalous_total``."""
+        from repro.tracing.critical import flag_anomalies
+
+        found = flag_anomalies(forest, factor=factor)
+        if self._m_anomalies is not None and found:
+            self._m_anomalies.inc(len(found))
+        return found
+
+    def _count_tree(self, tree: SpanTree) -> None:
+        spans = len(tree.spans())
+        self.trees_built += 1
+        self.spans_built += spans
+        if self._m_trees is not None:
+            self._m_trees.inc()
+            self._m_spans.inc(spans)

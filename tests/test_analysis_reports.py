@@ -1,14 +1,25 @@
 """Report formatting."""
 
 from repro.analysis.reports import (
+    anomaly_table,
     comparison_table,
     decomposition_table,
     format_bps,
     format_ns,
+    hop_stats_table,
     latency_table,
+    span_decomposition_table,
 )
-from repro.core.metrics import SegmentLatency
+from repro.core.metrics import SegmentLatency, decompose_latency
+from repro.core.records import TraceRecord
+from repro.core.tracedb import TraceDB
 from repro.workloads.stats import summarize_latencies
+
+CHAIN = ["a:send", "b:recv"]
+
+
+def _insert(db, trace_id, label, ts, node="n1"):
+    db.insert(node, label, TraceRecord(trace_id, 1, ts, 64, 0))
 
 
 class TestFormatters:
@@ -45,3 +56,91 @@ class TestTables:
         table = comparison_table("base", base, {"loaded": other})
         assert "5.0x" in table
         assert "base" in table and "loaded" in table
+
+
+class TestEdgeCases:
+    """Empty flows, single-record traces, and unordered ingest must
+    render as tables, not tracebacks."""
+
+    def test_empty_flow_renders_zero_rows(self):
+        segments = decompose_latency(TraceDB(), CHAIN)
+        table = decomposition_table(segments)
+        assert "a:send -> b:recv" in table
+        assert "TOTAL" in table and "0 ns" in table
+
+    def test_empty_segment_list_renders_total_only(self):
+        table = decomposition_table([])
+        assert "TOTAL" in table
+
+    def test_single_record_trace_contributes_nothing(self):
+        # A trace seen at only one tracepoint fails the completeness
+        # cut of §III-C: the segment row must show n=0, not crash.
+        db = TraceDB()
+        _insert(db, trace_id=7, label=CHAIN[0], ts=100)
+        table = decomposition_table(decompose_latency(db, CHAIN))
+        lines = table.splitlines()
+        row = next(line for line in lines if "a:send -> b:recv" in line)
+        assert " 0 " in row and "-" in row
+
+    def test_mixed_empty_and_populated_segments(self):
+        segments = [
+            SegmentLatency("a", "b", [100, 200]),
+            SegmentLatency("b", "c", []),
+        ]
+        table = decomposition_table(segments)
+        assert "100.0%" in table  # the populated segment owns the total
+        assert "b -> c" in table
+
+    def test_out_of_order_records_decompose_correctly(self):
+        # Batches arrive per-node, so cross-node timestamp order is
+        # never insertion order; latencies must not depend on it.
+        db = TraceDB()
+        _insert(db, trace_id=2, label=CHAIN[1], ts=2_500, node="n2")
+        _insert(db, trace_id=1, label=CHAIN[1], ts=1_300, node="n2")
+        _insert(db, trace_id=2, label=CHAIN[0], ts=2_000)
+        _insert(db, trace_id=1, label=CHAIN[0], ts=1_000)
+        (segment,) = decompose_latency(db, CHAIN)
+        assert sorted(segment.latencies_ns) == [300, 500]
+        assert "2 " in decomposition_table([segment])
+
+
+class TestSpanTables:
+    """The span-layer views of the same data (docs/TIMELINES.md)."""
+
+    def _db(self):
+        db = TraceDB()
+        for trace_id, (t0, t1) in enumerate([(1_000, 1_400), (2_000, 2_300)], 1):
+            _insert(db, trace_id, CHAIN[0], t0, node="n1")
+            _insert(db, trace_id, CHAIN[1], t1, node="n2")
+        return db
+
+    def _forest(self, db):
+        from repro.tracing import SpanAssembler
+
+        return SpanAssembler(db).forest(chain=CHAIN)
+
+    def test_span_decomposition_matches_metric_layer(self):
+        db = self._db()
+        span_table = span_decomposition_table(self._forest(db), CHAIN)
+        metric_table = decomposition_table(decompose_latency(db, CHAIN))
+        assert span_table == metric_table
+
+    def test_hop_stats_table_lists_hops(self):
+        table = hop_stats_table(self._forest(self._db()))
+        assert "a:send -> b:recv" in table
+        assert "p95" in table
+
+    def test_hop_stats_table_empty_forest(self):
+        table = hop_stats_table(self._forest(TraceDB()))
+        assert "hop" in table  # headers render with no rows
+
+    def test_anomaly_table_quiet_flow(self):
+        table = anomaly_table(self._forest(self._db()))
+        assert "no spans above" in table
+
+    def test_anomaly_table_flags_outlier(self):
+        db = self._db()
+        _insert(db, 9, CHAIN[0], 10_000, node="n1")
+        _insert(db, 9, CHAIN[1], 60_000, node="n2")  # ~100x the median hop
+        table = anomaly_table(self._forest(db))
+        assert "0x00000009" in table and "a:send -> b:recv" in table

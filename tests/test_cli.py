@@ -42,3 +42,65 @@ class TestExecution:
         assert main(["run", "fig8b", "--duration-ms", "100"]) == 0
         out = capsys.readouterr().out
         assert "Case I" in out and "Case III" in out
+
+
+class TestTimeline:
+    """The `repro timeline` verb (docs/TIMELINES.md)."""
+
+    def test_trace_id_accepts_hex_and_decimal(self):
+        parser = build_parser()
+        assert parser.parse_args(
+            ["timeline", "--trace-id", "0xc2a5e8a3"]
+        ).trace_id == 0xC2A5E8A3
+        assert parser.parse_args(["timeline", "--trace-id", "99"]).trace_id == 99
+        with pytest.raises(SystemExit):
+            parser.parse_args(["timeline", "--trace-id", "zebra"])
+
+    def test_text_format_reports_forest_and_analysis(self, capsys):
+        assert main(["timeline", "--duration-ms", "150", "--format", "text"]) == 0
+        out = capsys.readouterr().out
+        assert "span forest:" in out
+        assert "critical path" in out
+        assert "per-hop percentiles:" in out
+
+    def test_chrome_export_is_deterministic(self, tmp_path):
+        # The acceptance property CI also diffs: same seed, same bytes.
+        first, second = tmp_path / "a.json", tmp_path / "b.json"
+        for path in (first, second):
+            assert main(["timeline", "--duration-ms", "150",
+                         "--format", "chrome", "--out", str(path)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+        import json
+
+        doc = json.loads(first.read_text())
+        assert doc["traceEvents"]
+        assert doc["otherData"]["trees"] > 0
+
+    def test_otlp_export_parses(self, tmp_path):
+        import json
+
+        out = tmp_path / "otlp.json"
+        assert main(["timeline", "--duration-ms", "150",
+                     "--format", "otlp", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        spans = doc["resourceSpans"][0]["scopeSpans"][0]["spans"]
+        assert spans and all(len(s["traceId"]) == 32 for s in spans)
+
+    def test_unknown_trace_id_fails_cleanly(self, capsys):
+        assert main(["timeline", "--duration-ms", "150", "--format", "text",
+                     "--trace-id", "0x1"]) == 1
+        assert "not found" in capsys.readouterr().err
+
+    def test_single_trace_selection(self, capsys):
+        # Find a real ID from a text run, then export just that trace.
+        assert main(["timeline", "--duration-ms", "150", "--format", "text"]) == 0
+        out = capsys.readouterr().out
+        trace_id = next(
+            line.split()[1].split(":", 1)[1]
+            for line in out.splitlines()
+            if line.startswith("packet")
+        )
+        assert main(["timeline", "--duration-ms", "150", "--format", "text",
+                     "--trace-id", trace_id]) == 0
+        selected = capsys.readouterr().out
+        assert "span forest: 1 trees" in selected

@@ -228,6 +228,36 @@ class TestHeartbeats:
         engine.run(until=2_000_000_000)
         assert node_a.name in tracer.collector.stale_agents(500_000_000)
 
+    def test_silent_agent_stays_stale_through_final_collection(
+        self, engine, two_nodes
+    ):
+        # An agent that heartbeats, then dies mid-run, must still look
+        # stale after the master's offline pull at the end of the run:
+        # collection is the master reaching out, not the agent
+        # reporting, so it is not a liveness signal.
+        node_a, node_b, ip_a, ip_b = two_nodes
+        tracer = VNetTracer(engine)
+        tracer.add_agent(node_a)
+        tracer.add_agent(node_b)
+        tracer.deploy(_spec(node_a, node_b))
+        _traffic(engine, node_a, node_b, ip_a, ip_b, count=20)
+
+        engine.run(until=1_000_000_000)
+        assert tracer.collector.stale_agents(200_000_000) == []
+
+        # The agent dies with records still in its local store.
+        dead = tracer.agents[node_a.name]
+        dead.teardown()
+        assert dead.local_store
+
+        engine.run(until=3_000_000_000)
+        collected = tracer.collect()
+        assert collected > 0
+        assert tracer.db.count("send") == 20  # its buffered data arrived
+        stale = tracer.collector.stale_agents(1_000_000_000)
+        assert node_a.name in stale  # ... but it is still reported dead
+        assert node_b.name not in stale
+
 
 class TestRingOverflow:
     def test_tiny_ring_drops_are_counted(self, engine, two_nodes):

@@ -1,0 +1,125 @@
+"""Trace-ID embedding round trips, hammered with hypothesis.
+
+The paper's kernel patch (§III-B) appends a 4-byte ID to UDP payloads
+(``__skb_put`` / ``pskb_trim_rcsum``) and writes a TCP option
+(``tcp_options_write``).  Applications must never observe the ID, and
+the receive checksum after the trim must equal the checksum of the
+original payload -- those are the properties below, over arbitrary
+payloads and RNG seeds.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.addressing import IPv4Address, MACAddress
+from repro.net.checksum import checksum_remove_trailing, internet_checksum
+from repro.net.packet import make_tcp_packet, make_udp_packet
+from repro.net.traceid import (
+    META_TRACE_ID,
+    META_UDP_ID_EMBEDDED,
+    TraceIDEngine,
+    extract_trace_id,
+)
+from repro.sim.rng import SeededRNG
+
+MAC_A = MACAddress("02:00:00:00:00:01")
+MAC_B = MACAddress("02:00:00:00:00:02")
+IP_A = IPv4Address("10.0.0.1")
+IP_B = IPv4Address("10.0.0.2")
+
+payloads = st.binary(min_size=0, max_size=512)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def _udp(payload: bytes):
+    return make_udp_packet(MAC_A, MAC_B, IP_A, IP_B, 4000, 5000, payload)
+
+
+class TestUDPRoundTrip:
+    @given(payloads, seeds)
+    def test_embed_then_strip_preserves_payload(self, payload, seed):
+        engine = TraceIDEngine(SeededRNG(seed))
+        packet = _udp(payload)
+        engine.embed_udp(packet)
+        assert len(packet.payload) == len(payload) + 4
+        assert packet.payload[: len(payload)] == payload  # app bytes untouched
+        engine.strip_udp(packet)
+        assert packet.payload == payload
+        assert packet.metadata[META_UDP_ID_EMBEDDED] is False
+
+    @given(payloads, seeds)
+    def test_wire_extraction_matches_embedded_id(self, payload, seed):
+        engine = TraceIDEngine(SeededRNG(seed))
+        packet = _udp(payload)
+        engine.embed_udp(packet)
+        assert extract_trace_id(packet) == packet.metadata[META_TRACE_ID]
+        # After the receiver trims, the app-facing packet has no ID.
+        engine.strip_udp(packet)
+        assert extract_trace_id(packet) is None
+
+    @given(payloads.filter(lambda b: len(b) % 2 == 0), seeds)
+    def test_trim_checksum_matches_recomputed(self, payload, seed):
+        # pskb_trim_rcsum: the incremental update of the receive
+        # checksum after removing the trailing ID must equal a full
+        # recomputation over the original payload.
+        # checksum_remove_trailing documents an even-alignment domain
+        # (the 4-byte ID starts 16-bit aligned), so only even payload
+        # lengths are in scope here.
+        engine = TraceIDEngine(SeededRNG(seed))
+        packet = _udp(payload)
+        engine.embed_udp(packet)
+        embedded = bytes(packet.payload)
+        csum_embedded = internet_checksum(embedded)
+        trimmed_csum = checksum_remove_trailing(csum_embedded, embedded[-4:])
+        engine.strip_udp(packet)
+        assert trimmed_csum == internet_checksum(packet.payload)
+
+    @given(seeds)
+    def test_strip_without_embed_is_a_noop(self, seed):
+        engine = TraceIDEngine(SeededRNG(seed))
+        packet = _udp(b"data")
+        assert engine.strip_udp(packet) == 0
+        assert packet.payload == b"data"
+
+    @given(payloads, seeds)
+    @settings(max_examples=25)
+    def test_double_embed_ids_both_recoverable_in_order(self, payload, seed):
+        # Two embeds stack (outer ID is the wire-visible one); each
+        # strip removes exactly one layer.
+        engine = TraceIDEngine(SeededRNG(seed))
+        packet = _udp(payload)
+        engine.embed_udp(packet)
+        first = packet.metadata[META_TRACE_ID]
+        engine.embed_udp(packet)
+        second = packet.metadata[META_TRACE_ID]
+        assert extract_trace_id(packet) == second
+        engine.strip_udp(packet)
+        assert len(packet.payload) == len(payload) + 4
+        assert extract_trace_id(packet) is None  # metadata says stripped
+        del packet.metadata[META_TRACE_ID]
+        packet.metadata[META_UDP_ID_EMBEDDED] = True
+        assert extract_trace_id(packet) == first
+
+
+class TestTCPRoundTrip:
+    @given(payloads, seeds)
+    def test_option_round_trips_through_wire_format(self, payload, seed):
+        engine = TraceIDEngine(SeededRNG(seed))
+        packet = make_tcp_packet(MAC_A, MAC_B, IP_A, IP_B, 4000, 5000, payload)
+        assert engine.embed_tcp(packet) > 0
+        assert packet.payload == payload  # options, not payload, carry the ID
+        assert extract_trace_id(packet) == packet.metadata[META_TRACE_ID]
+
+    @given(seeds)
+    def test_full_option_space_refuses_embedding(self, seed):
+        engine = TraceIDEngine(SeededRNG(seed))
+        packet = make_tcp_packet(
+            MAC_A, MAC_B, IP_A, IP_B, 4000, 5000, b"", options=b"\x01" * 36
+        )
+        assert engine.embed_tcp(packet) == 0
+        assert extract_trace_id(packet) is None
+
+    @given(seeds)
+    def test_ids_unique_within_a_flow(self, seed):
+        engine = TraceIDEngine(SeededRNG(seed))
+        seen = {engine.tcp_option_bytes()[1] for _ in range(64)}
+        assert len(seen) == 64
