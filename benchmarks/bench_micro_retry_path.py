@@ -1,0 +1,113 @@
+"""Microbenchmark: the resilient delivery layer's no-fault happy path.
+
+Every deploy now rides the ack/retry dispatcher and every online batch
+carries a sequence number through the collector's resequencer + dedup
+(docs/FAULTS.md).  Fault-free runs pay that machinery on every control
+package and every shipped batch, so its happy-path cost is the price
+of resilience -- this scenario measures it in isolation: a burst of
+full deploy/ack round-trips, then a stream of sequence-numbered batch
+shipments with their acks, no fault plan attached.
+"""
+
+from repro.core import FilterRule, GlobalConfig, TracepointSpec, TracingSpec
+from repro.core.records import TraceRecord
+from repro.core.vnettracer import VNetTracer
+from repro.net.packet import IPPROTO_UDP
+from repro.net.stack import KernelNode
+from repro.obs.registry import MetricsRegistry
+from repro.sim.engine import Engine
+
+FULL_DEPLOYS = 60
+FULL_BATCHES = 1_500
+RECORDS_PER_BATCH = 64
+SHIP_PERIOD_NS = 500_000
+
+
+def _churn(deploys: int, batches: int) -> dict:
+    engine = Engine()
+    registry = MetricsRegistry()
+    node = KernelNode(engine, "bench", num_cpus=2)
+    tracer = VNetTracer(engine, registry=registry)
+    tracer.add_agent(node)
+
+    spec = TracingSpec(
+        rule=FilterRule(dst_port=9000, protocol=IPPROTO_UDP),
+        tracepoints=[
+            TracepointSpec(node="bench", hook="kprobe:udp_send_skb", label="tx"),
+        ],
+        global_config=GlobalConfig(
+            online_collection=True,
+            # Manual flushes below; keep the periodic timer out of the way.
+            flush_interval_ns=3_600_000_000_000,
+            ring_buffer_bytes=64 * 1024,
+        ),
+    )
+
+    # Deploy churn: each iteration is a full control-plane round trip
+    # (attempt -> deliver -> install -> ack) through the retry machinery.
+    # Heartbeats run indefinitely, so every drain is bounded by `until`.
+    acked = 0
+    for _ in range(deploys):
+        report = tracer.deploy(spec)
+        engine.run(until=engine.now + 10_000_000)  # deliver, install, ack
+        acked += len(report.acked_nodes)
+
+    # Shipment churn: sequence-numbered batches through the collector's
+    # resequencer, with the ack leg of each in flight while the next
+    # batch ships.
+    agent = tracer.agents["bench"]
+    tracepoint_id = agent.package.tracepoints[0].tracepoint_id
+    payload = TraceRecord(1, tracepoint_id, 0, 64, 0).pack()
+
+    def producer():
+        for _ in range(batches):
+            for _ in range(RECORDS_PER_BATCH):
+                agent.ring.append(payload)
+            agent.ring.flush()
+            yield SHIP_PERIOD_NS
+
+    engine.process(producer(), name="shipper")
+    # Past the last ship by several ack round-trips + backoff timers.
+    engine.run(until=engine.now + batches * SHIP_PERIOD_NS + 50_000_000)
+
+    return {
+        "deploys_acked": acked,
+        "rows": tracer.db.rows_inserted,
+        "deploy_attempts": int(registry.total("vnt_retry_deploy_attempts_total")),
+        "deploy_retries": int(registry.total("vnt_retry_deploy_retries_total")),
+        "ship_attempts": int(registry.total("vnt_retry_ship_attempts_total")),
+        "ship_retries": int(registry.total("vnt_retry_ship_retries_total")),
+        "deduped_batches": tracer.db.deduped_batches,
+        "pending_ships": len(agent._pending_ships),
+    }
+
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    from repro.bench.presets import scale_count
+
+    return _churn(
+        scale_count(preset, FULL_DEPLOYS, floor=10),
+        scale_count(preset, FULL_BATCHES, floor=200),
+    )
+
+
+def test_micro_retry_path(benchmark, once, report):
+    results = once(_churn, 10, 200)
+    report(
+        "Micro: no-fault deploy/ship round trips through the retry layer",
+        {
+            "deploys acked": results["deploys_acked"],
+            "ship attempts": results["ship_attempts"],
+            "rows": results["rows"],
+        },
+    )
+    # Happy path: one attempt per deploy and per batch, nothing retried,
+    # nothing deduped, nothing left pending, and every record landed.
+    assert results["deploys_acked"] == results["deploy_attempts"] == 10
+    assert results["deploy_retries"] == 0
+    assert results["ship_attempts"] == 200
+    assert results["ship_retries"] == 0
+    assert results["deduped_batches"] == 0
+    assert results["pending_ships"] == 0
+    assert results["rows"] == 200 * RECORDS_PER_BATCH

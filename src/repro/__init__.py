@@ -26,23 +26,36 @@ paper-figure reproduction index.
 
 from repro.core import (
     ActionSpec,
+    CollectReport,
+    DeployReport,
     FilterRule,
     GlobalConfig,
     TracepointSpec,
+    TracerSession,
     TracingSpec,
     VNetTracer,
 )
+from repro.faults import ChannelFaults, CrashEvent, FaultPlan, RingPressureEvent
 from repro.sim import Engine
 
 __version__ = "1.0.0"
 
+# The blessed public surface.  tests/test_repro_api.py asserts this list
+# matches the README's "Public API" section -- update both together.
 __all__ = [
     "VNetTracer",
+    "TracerSession",
     "TracingSpec",
     "FilterRule",
     "TracepointSpec",
     "ActionSpec",
     "GlobalConfig",
+    "FaultPlan",
+    "ChannelFaults",
+    "CrashEvent",
+    "RingPressureEvent",
+    "DeployReport",
+    "CollectReport",
     "Engine",
     "__version__",
 ]

@@ -8,6 +8,7 @@
     python -m repro.cli stats --format prom --duration-ms 500
     python -m repro.cli timeline --format chrome --out trace.json
     python -m repro.cli timeline --trace-id 0xc2a5e8a3 --format text
+    python -m repro.cli faults --seed 7 --format json
     python -m repro.cli bench --preset smoke
     python -m repro.cli bench --preset smoke --compare benchmarks/baseline.json
 
@@ -23,6 +24,11 @@ series.
 (see docs/TIMELINES.md), and exports them as Chrome trace-event JSON
 (loadable in Perfetto / chrome://tracing), OTLP-style JSON, or an
 indented text rendering with critical-path and anomaly summaries.
+
+`faults` runs the three-leg fault-equivalence experiment (fault-free,
+faulty-with-retries, lossy-without-retries; see docs/FAULTS.md) and
+exits non-zero if the resilient delivery layer fails the equivalence
+or loss-accounting invariants.
 
 `bench` runs the benchmark harness over every `benchmarks/bench_*.py`
 scenario, writes a schema-versioned `BENCH_<timestamp>.json`, and can
@@ -271,6 +277,64 @@ def _timeline(args) -> int:
     return 0
 
 
+def _faults(args) -> int:
+    """Run the three-leg fault-equivalence experiment (docs/FAULTS.md)."""
+    import json
+
+    from repro.experiments.fault_case import run_fault_equivalence
+
+    r = run_fault_equivalence(seed=args.seed, packets=args.packets)
+
+    def leg(result):
+        return {
+            "rows": result.rows,
+            "rows_by_label": result.rows_by_label,
+            "deploy_retries": result.deploy_retries,
+            "ship_retries": result.ship_retries,
+            "deduped_batches": result.deduped_batches,
+            "records_lost": result.records_lost,
+            "records_lost_by_reason": result.records_lost_by_reason,
+            "control_injected": int(result.metrics.get("control_injected", 0)),
+            "shipment_injected": int(result.metrics.get("shipment_injected", 0)),
+        }
+
+    doc = {
+        "seed": args.seed,
+        "packets": args.packets,
+        "legs": {
+            "baseline": leg(r.baseline),
+            "faulty_with_retries": leg(r.faulty),
+            "lossy_no_retries": leg(r.lossy_no_retries),
+        },
+        "invariants": {
+            "rows_match": r.rows_match,
+            "decomposition_match": r.decomposition_match,
+            "timeline_match": r.timeline_match,
+            "loss_accounted": r.loss_accounted,
+        },
+    }
+    if args.format == "json":
+        # Canonical form: the CI determinism job byte-diffs two runs.
+        print(json.dumps(doc, sort_keys=True, indent=2))
+    else:
+        b, f, lossy = r.baseline, r.faulty, r.lossy_no_retries
+        print(f"fault equivalence (seed {args.seed}, {args.packets} packets/leg)")
+        print(f"  fault-free        rows {b.rows}  {b.rows_by_label}")
+        print(f"  faulty + retries  rows {f.rows}  "
+              f"deploy retries {f.deploy_retries}, ship retries {f.ship_retries}, "
+              f"deduped batches {f.deduped_batches}")
+        print(f"  lossy, no retries rows {lossy.rows}  "
+              f"lost {lossy.records_lost} {lossy.records_lost_by_reason}")
+        print(f"  rows match            {r.rows_match}")
+        print(f"  decomposition match   {r.decomposition_match}")
+        print(f"  timeline match        {r.timeline_match}")
+        print(f"  loss accounted        {r.loss_accounted}")
+    ok = r.equivalent and r.loss_accounted
+    if not ok:
+        print("faults: equivalence invariant violated", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def _bench(args) -> int:
     from repro.bench import (
         build_report,
@@ -393,6 +457,18 @@ def build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("--anomaly-factor", type=float, default=3.0,
                           help="text format: flag spans above this multiple "
                                "of their hop's flow median")
+    faults = sub.add_parser(
+        "faults",
+        help="run the fault-equivalence experiment: resilient delivery "
+             "under injected faults (docs/FAULTS.md)",
+    )
+    faults.add_argument("--seed", type=int, default=7,
+                        help="fault-plan and scenario seed")
+    faults.add_argument("--packets", type=_positive_int, default=200,
+                        help="traced packets per leg")
+    faults.add_argument("--format", choices=("summary", "json"),
+                        default="summary",
+                        help="json = canonical byte-diffable report")
     bench = sub.add_parser(
         "bench", help="run the benchmark harness over benchmarks/bench_*.py"
     )
@@ -427,6 +503,8 @@ def main(argv=None) -> int:
         return 0
     if args.command == "bench":
         return _bench(args)
+    if args.command == "faults":
+        return _faults(args)
 
     args.duration_ns = args.duration_ms * 1_000_000
     if args.command == "stats":

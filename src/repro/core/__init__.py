@@ -36,17 +36,22 @@ from repro.core.metrics import (
     packet_loss,
     throughput_at,
 )
+from repro.core.reports import CollectReport, DeployReport
+from repro.core.session import TracerSession
 from repro.core.tracedb import TraceDB
 from repro.core.vnettracer import VNetTracer
 
 __all__ = [
     "VNetTracer",
+    "TracerSession",
     "TracingSpec",
     "FilterRule",
     "TracepointSpec",
     "ActionSpec",
     "GlobalConfig",
     "ControlPackage",
+    "DeployReport",
+    "CollectReport",
     "TraceDB",
     "throughput_at",
     "latency_between",

@@ -15,6 +15,26 @@ An agent sleeps until the dispatcher delivers a control package, then:
 
 ``teardown()`` detaches everything -- the paper's "reconfigured ...
 during the system runtime" path is deploy/teardown/deploy.
+
+Resilience (docs/FAULTS.md):
+
+* installation is *idempotent*: deliveries carry a monotone deploy ID,
+  a duplicate of the current deploy acks without reinstalling, and a
+  stale (superseded) one is ignored;
+* online shipment is *at-least-once*: each batch gets a per-node
+  sequence number and is retransmitted (capped exponential backoff,
+  ``GlobalConfig.ship_max_attempts`` budget) until the collector's ack
+  arrives; the collector dedups on (node, seq) and applies batches in
+  sequence order, so retries cannot duplicate or reorder rows.
+  Retransmissions re-send the already-serialized buffer and charge no
+  extra agent CPU -- only the first send pays the batch cost, keeping
+  the data-plane timing of a faulty run identical to a fault-free one;
+* ``crash()`` models the daemon dying: scripts detach, buffered and
+  in-flight records are discarded *with exact loss accounting*
+  (``vnt_fault_records_lost_total``), abandoned sequence numbers post
+  gap notices so the collector's resequencer never wedges, and
+  ``restart()`` reinstalls the last package (shipment seqs continue,
+  never reuse).
 """
 
 from __future__ import annotations
@@ -28,17 +48,37 @@ from repro.core.ringbuffer import FLUSH_FIXED_COST_NS, TraceRingBuffer
 from repro.ebpf.maps import PerCPUArrayMap, PerfEventArray
 from repro.ebpf.probes import EBPFAttachment
 from repro.ebpf.vm import BPFProgram, ExecutionEnv
+from repro.faults.metrics import FaultMetrics
 from repro.net.stack import KernelNode
 from repro.obs import contract as obs_contract
 from repro.obs.registry import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.collector import RawDataCollector
+    from repro.faults.inject import FaultInjector
 
 # Shipping a batch to the collector: syscall + send cost per batch plus
 # a per-byte serialization term (only when collection is online).
 BATCH_FIXED_COST_NS = 4_000
 BATCH_NS_PER_BYTE = 0.35
+# Agent -> collector network latency for one online batch (or its ack).
+SHIP_NET_LATENCY_NS = 200_000
+
+
+class _PendingShip:
+    """Retry state for one sequence-numbered online batch."""
+
+    __slots__ = ("seq", "records", "shipped_at", "attempts", "acked",
+                 "delivered", "timer")
+
+    def __init__(self, seq: int, records, shipped_at: int):
+        self.seq = seq
+        self.records = records
+        self.shipped_at = shipped_at
+        self.attempts = 0
+        self.acked = False
+        self.delivered = False  # at least one copy reached the collector
+        self.timer = None
 
 
 class InstalledScript:
@@ -106,6 +146,15 @@ class Agent:
         self._retired_fires: Dict[Tuple[str, str], int] = {}
         self._heartbeat_timer = None
         self._online = False
+        self.crashed = False
+        self.injector: "Optional[FaultInjector]" = None
+        self.fault_metrics = FaultMetrics(registry)
+        # At-least-once shipping state: a per-node monotone sequence
+        # number (never reused, survives crash/restart) and the batches
+        # still awaiting the collector's ack.
+        self._ship_seq = 0
+        self._pending_ships: Dict[int, _PendingShip] = {}
+        self._installed_deploy_id: Optional[int] = None
 
         self._m_flush_latency = self._m_batches = None
         self._m_records = self._m_load_ns = None
@@ -122,11 +171,38 @@ class Agent:
 
     # -- control plane -------------------------------------------------------
 
-    def install(self, package: ControlPackage) -> None:
-        """Deploy a control package (called on dispatcher delivery)."""
+    def install(
+        self,
+        package: ControlPackage,
+        deploy_id: Optional[int] = None,
+        force: bool = False,
+    ) -> str:
+        """Deploy a control package (called on dispatcher delivery).
+
+        Idempotent under retries: ``deploy_id`` is the dispatcher's
+        monotone deployment number.  Returns one of
+
+        * ``"installed"`` -- scripts compiled and attached;
+        * ``"duplicate"`` -- this deploy is already installed (a retry
+          or fault-injected copy); ack it, change nothing;
+        * ``"stale"`` -- a newer deploy superseded this one; ignored;
+        * ``"down"`` -- the agent is crashed and cannot install.
+
+        ``deploy_id=None`` (direct calls, tests) always installs;
+        ``force=True`` reinstalls the same deploy (the restart path).
+        """
+        if self.crashed and not force:
+            return "down"
+        if deploy_id is not None and self._installed_deploy_id is not None:
+            if deploy_id == self._installed_deploy_id and not force:
+                return "duplicate"
+            if deploy_id < self._installed_deploy_id:
+                return "stale"
         if self.scripts:
             self.teardown()
         self.package = package
+        if deploy_id is not None:
+            self._installed_deploy_id = deploy_id
         cfg = package.global_config
         self._online = cfg.online_collection
         self.ring = TraceRingBuffer(
@@ -138,6 +214,10 @@ class Agent:
             strict=cfg.ring_strict,
             registry=self.registry,
             node=self.node.name,
+            policy=cfg.ring_policy,
+            sample_prob=cfg.ring_sample_prob,
+            rng=self.node.rng.fork("ring-policy"),
+            fault_metrics=self.fault_metrics,
         )
         self.ring.start()
 
@@ -198,6 +278,62 @@ class Agent:
             )
 
         self._schedule_heartbeat()
+        return "installed"
+
+    def set_fault_injector(self, injector: "Optional[FaultInjector]") -> None:
+        """Route this agent's shipments through a fault injector."""
+        self.injector = injector
+
+    def crash(self) -> None:
+        """The daemon dies: scripts detach, buffered records are lost.
+
+        Unlike :meth:`teardown` (a graceful reconfiguration that flushes
+        the ring first), a crash discards the ring buffer and the local
+        store outright and abandons in-flight shipments.  Every lost
+        record is accounted under ``vnt_fault_records_lost_total`` with
+        reasons ``crash_ring`` / ``crash_store`` / ``shipment``, and
+        abandoned sequence numbers post gap notices so the collector's
+        resequencer is never left waiting."""
+        if self.crashed:
+            return
+        name = self.node.name
+        for label, script in self.scripts.items():
+            key = (name, label)
+            self._retired_fires[key] = (
+                self._retired_fires.get(key, 0) + script.attachment.program.run_count
+            )
+            self.node.hooks.detach(script.hook, script.attachment)
+        self.scripts.clear()
+        if self.ring is not None:
+            lost = self.ring.discard()
+            self.ring.stop()
+            self.fault_metrics.records_lost(name, "crash_ring", lost)
+        if self.local_store:
+            self.fault_metrics.records_lost(name, "crash_store", len(self.local_store))
+            self.local_store = []
+        for state in list(self._pending_ships.values()):
+            if state.timer is not None:
+                state.timer.cancel()
+                state.timer = None
+            if not state.delivered:
+                self.fault_metrics.records_lost(name, "shipment", len(state.records))
+                self.collector.skip_shipment(name, state.seq)
+        self._pending_ships.clear()
+        if self._heartbeat_timer is not None:
+            self._heartbeat_timer.cancel()
+            self._heartbeat_timer = None
+        self.crashed = True
+
+    def restart(self) -> None:
+        """Bring a crashed daemon back: reinstall the last control
+        package (if any) and resume heartbeats.  Shipment sequence
+        numbers continue where they left off -- a restarted agent never
+        reuses a sequence number, so collector-side dedup stays sound."""
+        if not self.crashed:
+            return
+        self.crashed = False
+        if self.package is not None:
+            self.install(self.package, deploy_id=self._installed_deploy_id, force=True)
 
     def teardown(self) -> None:
         """Detach all scripts and stop buffering (runtime reconfiguration)."""
@@ -238,17 +374,83 @@ class Agent:
         self.batches_sent += 1
         self.records_forwarded += len(batch)
         self._count_shipment(len(batch))
-        records = unpack_batch(batch)
-        shipped_at = self.engine.now
+        self._ship_seq += 1
+        state = _PendingShip(self._ship_seq, unpack_batch(batch), self.engine.now)
+        self._pending_ships[state.seq] = state
+        # Online shipping consumes agent CPU (once -- retransmissions
+        # resend the serialized buffer for free) and takes network time.
+        self.node.cpus[0].submit(cost, lambda: self._transmit(state))
 
-        def deliver() -> None:
+    def _transmit(self, state: _PendingShip) -> None:
+        """One transmission attempt of a sequence-numbered batch."""
+        if self.crashed or state.acked:
+            return
+        state.attempts += 1
+        name = self.node.name
+        self.fault_metrics.ship_attempt(name)
+        if state.attempts > 1:
+            self.fault_metrics.ship_retry(name)
+        decision = (
+            self.injector.shipment_decision() if self.injector is not None else None
+        )
+        if decision is None or not decision.drop:
+            delay = SHIP_NET_LATENCY_NS + (decision.extra_delay_ns if decision else 0)
+            self.engine.schedule(delay, self._deliver_ship, state)
+            if decision is not None and decision.duplicate:
+                self.engine.schedule(
+                    delay + SHIP_NET_LATENCY_NS, self._deliver_ship, state)
+        cfg = self.package.global_config
+        backoff = 0
+        if state.attempts >= 2:
+            raw = cfg.ship_backoff_base_ns * (2 ** (state.attempts - 2))
+            backoff = min(raw, cfg.ship_backoff_cap_ns)
+        state.timer = self.engine.schedule(
+            SHIP_NET_LATENCY_NS + cfg.ship_ack_timeout_ns + backoff,
+            self._check_ship_ack, state,
+        )
+
+    def _deliver_ship(self, state: _PendingShip) -> None:
+        """One copy of the batch arrives at the collector."""
+        first = not state.delivered
+        state.delivered = True
+        if first:
             self.ship_log.append(
-                (shipped_at, self.engine.now, self.node.name, len(records))
+                (state.shipped_at, self.engine.now, self.node.name, len(state.records))
             )
-            self.collector.receive_batch(self.node.name, records)
+        self.collector.receive_batch(self.node.name, state.records, seq=state.seq)
+        # The ack crosses the same lossy channel, in the other direction.
+        decision = (
+            self.injector.shipment_decision() if self.injector is not None else None
+        )
+        if decision is None or not decision.drop:
+            delay = SHIP_NET_LATENCY_NS + (decision.extra_delay_ns if decision else 0)
+            self.engine.schedule(delay, self._on_ship_ack, state)
 
-        # Online shipping consumes agent CPU and takes network time.
-        self.node.cpus[0].submit(cost, lambda: self.engine.schedule(200_000, deliver))
+    def _on_ship_ack(self, state: _PendingShip) -> None:
+        if state.acked:
+            return
+        state.acked = True
+        if state.timer is not None:
+            state.timer.cancel()
+            state.timer = None
+        self._pending_ships.pop(state.seq, None)
+
+    def _check_ship_ack(self, state: _PendingShip) -> None:
+        if state.acked or self.crashed:
+            return
+        cfg = self.package.global_config
+        if state.attempts < cfg.ship_max_attempts:
+            self._transmit(state)
+            return
+        # Budget exhausted: abandon the batch.  If no copy ever reached
+        # the collector the records are lost -- account them exactly and
+        # post the gap notice; if only the acks were lost, the data is
+        # safe in the database already.
+        self._pending_ships.pop(state.seq, None)
+        if not state.delivered:
+            self.fault_metrics.records_lost(
+                self.node.name, "shipment", len(state.records))
+            self.collector.skip_shipment(self.node.name, state.seq)
 
     def collect_local(self) -> int:
         """Offline collection: drain the local store to the collector."""

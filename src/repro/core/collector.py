@@ -13,6 +13,17 @@ does) for aligned cross-node latencies.  Because agents report
 periodically, the collector doubles as a heartbeat monitor "to
 guarantee that the agents work properly".
 
+Shipment is *at-least-once* (docs/FAULTS.md): agents stamp each batch
+with a per-node sequence number and retransmit until acked, so the
+collector may see duplicates and out-of-order arrivals.  Duplicates
+are discarded via :meth:`TraceDB.mark_batch`; fresh batches are held
+in a per-node resequencer and applied strictly in sequence order, so
+the database ends up with exactly the rows -- in exactly the
+per-node order -- a fault-free run would produce.  When an agent
+abandons a batch (retry budget exhausted, or it crashed with the
+batch unsent) it posts a :meth:`skip_shipment` gap notice so the
+resequencer never wedges behind a hole.
+
 All liveness bookkeeping runs on the *simulation clock* (``engine.now``,
 master time): registration, heartbeats, and online batch arrivals each
 stamp the current virtual time.  Offline collection (the master pulling
@@ -27,7 +38,9 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.records import TraceRecord
+from repro.core.reports import CollectReport, merge_node_counts
 from repro.core.tracedb import TraceDB
+from repro.faults.metrics import FaultMetrics
 from repro.obs import contract as obs_contract
 from repro.obs.registry import MetricsRegistry
 from repro.sim.engine import Engine
@@ -58,6 +71,13 @@ class RawDataCollector:
         # (arrival_ns, node, records) per ingested batch, for the
         # control-plane track of the span timeline.
         self.batch_log: List[Tuple[int, str, int]] = []
+        # At-least-once resequencing state, per node: the next sequence
+        # number to apply, batches held for an earlier gap, and seqs the
+        # agent told us will never arrive (docs/FAULTS.md).
+        self._next_seq: Dict[str, int] = {}
+        self._held: Dict[str, Dict[int, List[TraceRecord]]] = {}
+        self._skipped: Dict[str, set] = {}
+        self.fault_metrics = FaultMetrics(registry)
 
         self._m_batches = self._m_records = self._m_unknown = None
         if registry is not None:
@@ -85,15 +105,63 @@ class RawDataCollector:
     # -- ingest -----------------------------------------------------------------
 
     def receive_batch(
-        self, node: str, records: List[TraceRecord], liveness: bool = True
-    ) -> None:
+        self,
+        node: str,
+        records: List[TraceRecord],
+        liveness: bool = True,
+        seq: Optional[int] = None,
+    ) -> bool:
         """Ingest one batch; timestamps are aligned by ``TraceDB.insert``
         using the node's registered skew offset (see the module docstring).
 
         ``liveness`` controls whether the batch refreshes the node's
         heartbeat stamp: online shipments do (the agent reported on its
         own), offline pulls must pass ``False`` (the master collected; a
-        dead agent's buffered records arriving must not mark it alive)."""
+        dead agent's buffered records arriving must not mark it alive).
+
+        ``seq`` is the agent's per-node shipment sequence number; when
+        given, the batch is deduplicated against the database and held
+        until every earlier sequence has been applied or skipped (the
+        at-least-once path).  Without it the batch applies immediately
+        (the legacy direct path).  Returns ``False`` only for a
+        discarded duplicate."""
+        if liveness:
+            self._last_heartbeat_ns[node] = self.engine.now
+        if seq is None:
+            self._apply(node, records)
+            return True
+        if not self.db.mark_batch(node, seq):
+            self.fault_metrics.shipment_deduped(node)
+            return False
+        self._held.setdefault(node, {})[seq] = records
+        self._drain(node)
+        return True
+
+    def skip_shipment(self, node: str, seq: int) -> None:
+        """Gap notice: batch ``seq`` from ``node`` will never arrive
+        (retry budget exhausted or the agent crashed).  Later batches
+        held behind the gap are released."""
+        if not self.db.mark_batch(node, seq):
+            return  # it actually arrived earlier; nothing to skip
+        self._skipped.setdefault(node, set()).add(seq)
+        self._drain(node)
+
+    def _drain(self, node: str) -> None:
+        """Apply held batches in strict sequence order."""
+        held = self._held.get(node, {})
+        skipped = self._skipped.get(node, set())
+        nxt = self._next_seq.get(node, 1)
+        while True:
+            if nxt in held:
+                self._apply(node, held.pop(nxt))
+            elif nxt in skipped:
+                skipped.discard(nxt)
+            else:
+                break
+            nxt += 1
+        self._next_seq[node] = nxt
+
+    def _apply(self, node: str, records: List[TraceRecord]) -> None:
         self.batches_received += 1
         if self._m_batches is not None:
             self._m_batches.inc()
@@ -109,15 +177,30 @@ class RawDataCollector:
         if self._m_records is not None:
             self._m_records.inc(len(records))
         self.batch_log.append((self.engine.now, node, len(records)))
-        if liveness:
-            self._last_heartbeat_ns[node] = self.engine.now
 
-    def collect_all_offline(self) -> int:
-        """Pull every agent's local store (offline collection mode)."""
-        total = 0
-        for agent in self.agents.values():
-            total += agent.collect_local()
-        return total
+    def pending_batches(self, node: str) -> int:
+        """Batches held by the resequencer waiting for an earlier seq."""
+        return len(self._held.get(node, {}))
+
+    def collect_all_offline(self) -> CollectReport:
+        """Pull every agent's local store (offline collection mode).
+
+        Returns a :class:`CollectReport` that still compares like the
+        old ``int`` record count.  Crashed agents cannot serve the pull
+        and are listed in ``skipped_nodes``."""
+        report = CollectReport()
+        deduped_before = self.db.deduped_batches
+        for name, agent in self.agents.items():
+            if getattr(agent, "crashed", False):
+                report.skipped_nodes.append(name)
+                continue
+            pulled = agent.collect_local()
+            if pulled:
+                report.records += pulled
+                report.batches += 1
+                merge_node_counts(report.records_by_node, name, pulled)
+        report.deduped_batches = self.db.deduped_batches - deduped_before
+        return report
 
     # -- heartbeat monitoring --------------------------------------------------------
 

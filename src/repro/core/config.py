@@ -134,6 +134,13 @@ class ActionSpec:
             raise ConfigError(f"sample_shift out of range: {self.sample_shift}")
 
 
+# Ring-buffer overflow degradation policies (docs/FAULTS.md).
+RING_POLICY_DROP_NEWEST = "drop-newest"
+RING_POLICY_DROP_OLDEST = "drop-oldest"
+RING_POLICY_SAMPLE = "sample"
+RING_POLICIES = (RING_POLICY_DROP_NEWEST, RING_POLICY_DROP_OLDEST, RING_POLICY_SAMPLE)
+
+
 @dataclass
 class GlobalConfig:
     """§III-D "global information like the database configuration"."""
@@ -149,6 +156,26 @@ class GlobalConfig:
     control_latency_ns: int = 200_000  # dispatcher -> agent delivery
     jit: bool = True
 
+    # Resilient delivery (docs/FAULTS.md).  ``*_max_attempts`` counts
+    # every transmission including the first; 1 disables retries.  Backoff
+    # before attempt N (N >= 2) is min(base * 2**(N-2), cap) on top of
+    # the ack timeout.
+    deploy_max_attempts: int = 4
+    deploy_ack_timeout_ns: int = 1_000_000  # 1 ms
+    deploy_backoff_base_ns: int = 500_000
+    deploy_backoff_cap_ns: int = 8_000_000
+    ship_max_attempts: int = 4
+    ship_ack_timeout_ns: int = 2_000_000  # 2 ms
+    ship_backoff_base_ns: int = 1_000_000
+    ship_backoff_cap_ns: int = 16_000_000
+
+    # Ring-buffer degradation policy on overflow: "drop-newest" (the
+    # classic behaviour: the arriving record is rejected), "drop-oldest"
+    # (evict buffered records to make room), or "sample" (admit the
+    # arriving record with probability ``ring_sample_prob`` once full).
+    ring_policy: str = RING_POLICY_DROP_NEWEST
+    ring_sample_prob: float = 0.5
+
     # The paper's footnote 1: "the buffer size range is from 32 bytes to
     # 128k-16 bytes" (a kmalloc limitation).
     MIN_RING_BYTES = 32
@@ -159,6 +186,25 @@ class GlobalConfig:
             raise ConfigError(
                 f"ring buffer size {self.ring_buffer_bytes} outside "
                 f"[{self.MIN_RING_BYTES}, {self.MAX_RING_BYTES}]"
+            )
+        for name in ("deploy_max_attempts", "ship_max_attempts"):
+            if getattr(self, name) < 1:
+                raise ConfigError(f"{name} must be >= 1")
+        for name in (
+            "deploy_ack_timeout_ns", "deploy_backoff_base_ns",
+            "deploy_backoff_cap_ns", "ship_ack_timeout_ns",
+            "ship_backoff_base_ns", "ship_backoff_cap_ns",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be >= 0")
+        if self.ring_policy not in RING_POLICIES:
+            raise ConfigError(
+                f"unknown ring_policy {self.ring_policy!r} "
+                f"(choose from {sorted(RING_POLICIES)})"
+            )
+        if not 0.0 <= self.ring_sample_prob <= 1.0:
+            raise ConfigError(
+                f"ring_sample_prob must be in [0, 1], got {self.ring_sample_prob}"
             )
 
 

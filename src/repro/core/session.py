@@ -1,0 +1,126 @@
+"""The fluent session builder: the blessed way to stand up a pipeline.
+
+The §III-A walkthrough used to require touching five constructors
+(engine, tracer, agents, synchronizer, spec).  A
+:class:`TracerSession` expresses the same setup as one chain:
+
+    session = (TracerSession(engine)
+               .with_agent(host1.node)
+               .with_agent(vm1.node)
+               .with_clock_sync(host1.node, host1_ip, "dev:eth0",
+                                vm1.node, vm1_ip, "dev:ens3")
+               .with_fault_plan(FaultPlan(seed=7, ...)))   # optional
+    report = session.deploy(spec)
+    ... run the experiment ...
+    collected = session.collect()
+
+The session is a thin, eager front-end over
+:class:`~repro.core.vnettracer.VNetTracer`: every ``with_*`` call
+takes effect immediately on the underlying tracer (available as
+``session.tracer``, or via :meth:`build`), so sessions compose freely
+with code that still drives the tracer directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.core.clocksync import ClockSynchronizer
+from repro.core.config import TracingSpec
+from repro.core.reports import CollectReport, DeployReport
+from repro.core.vnettracer import VNetTracer
+from repro.faults.plan import FaultPlan
+from repro.net.addressing import IPv4Address
+from repro.net.stack import KernelNode
+from repro.obs.registry import MetricsRegistry
+from repro.sim.engine import Engine
+
+
+class TracerSession:
+    """Fluent builder / façade over :class:`VNetTracer`."""
+
+    def __init__(
+        self,
+        engine: Optional[Engine] = None,
+        master_name: str = "master",
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.engine = engine if engine is not None else Engine()
+        self.tracer = VNetTracer(self.engine, master_name, registry=registry)
+        self.syncs: Dict[str, ClockSynchronizer] = {}
+
+    # -- fluent configuration ----------------------------------------------
+
+    def with_agent(
+        self, node: KernelNode, enable_packet_ids: bool = True
+    ) -> "TracerSession":
+        """Install an agent daemon on ``node`` (idempotent)."""
+        self.tracer.add_agent(node, enable_packet_ids=enable_packet_ids)
+        return self
+
+    def with_clock_sync(
+        self,
+        master_node: KernelNode,
+        master_ip: IPv4Address,
+        master_nic_hook: str,
+        target_node: KernelNode,
+        target_ip: IPv4Address,
+        target_nic_hook: str,
+        samples: int = 100,
+    ) -> "TracerSession":
+        """Start a Cristian clock-sync exchange toward ``target_node``;
+        the skew estimate lands in the trace DB when it completes.  The
+        synchronizer is kept in ``self.syncs[target_node.name]`` for
+        callers that need its completion callback."""
+        sync = self.tracer.synchronize_clocks(
+            master_node, master_ip, master_nic_hook,
+            target_node, target_ip, target_nic_hook,
+            samples=samples,
+        )
+        self.syncs[target_node.name] = sync
+        return self
+
+    def with_fault_plan(self, plan: Optional[FaultPlan]) -> "TracerSession":
+        """Attach a deterministic fault plan (docs/FAULTS.md); ``None``
+        detaches."""
+        self.tracer.set_fault_plan(plan)
+        return self
+
+    def with_stats_sampler(self, interval_ns: int = 50_000_000) -> "TracerSession":
+        """Snapshot the self-observability registry periodically."""
+        self.tracer.attach_stats_sampler(interval_ns=interval_ns)
+        return self
+
+    # -- driving the pipeline ----------------------------------------------
+
+    def deploy(self, spec: TracingSpec) -> DeployReport:
+        """Ship tracing scripts through the (possibly faulty) control
+        plane; see :meth:`VNetTracer.deploy`."""
+        return self.tracer.deploy(spec)
+
+    def collect(self) -> CollectReport:
+        """Offline collection; see :meth:`VNetTracer.collect`."""
+        return self.tracer.collect()
+
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Drive the shared engine (convenience passthrough)."""
+        return self.engine.run(until=until, max_events=max_events)
+
+    def decompose(self, chain: Sequence[str]):
+        return self.tracer.decompose(chain)
+
+    def span_forest(self, chain: Optional[Sequence[str]] = None, **kwargs):
+        return self.tracer.span_forest(chain, **kwargs)
+
+    def build(self) -> VNetTracer:
+        """The configured underlying tracer (for code that drives the
+        engine-room API directly)."""
+        return self.tracer
+
+    def __repr__(self) -> str:
+        plan = self.tracer.fault_plan
+        return (
+            f"<TracerSession agents={sorted(self.tracer.agents)} "
+            f"faults={'on' if plan is not None and plan.active else 'off'}>"
+        )

@@ -37,6 +37,10 @@ class TraceDB:
         self._by_trace_id: Dict[int, List[TraceRow]] = {}
         self._skew_ns: Dict[str, int] = {}  # node -> (master - node) offset
         self.rows_inserted = 0
+        # (node, shipment seq) pairs already ingested -- the dedup index
+        # behind at-least-once shipment (docs/FAULTS.md).
+        self._seen_batches: set = set()
+        self.deduped_batches = 0
 
     # -- clock alignment -----------------------------------------------------
 
@@ -72,6 +76,19 @@ class TraceDB:
             self._by_trace_id.setdefault(record.trace_id, []).append(row)
         self.rows_inserted += 1
         return row
+
+    def mark_batch(self, node: str, seq: int) -> bool:
+        """Record a (node, sequence-number) shipment; returns ``False``
+        if that batch was already ingested (a retry duplicate the
+        collector must discard).  This is the database side of the
+        at-least-once delivery contract: agents may send a batch more
+        than once, the DB guarantees it lands at most once."""
+        key = (node, seq)
+        if key in self._seen_batches:
+            self.deduped_batches += 1
+            return False
+        self._seen_batches.add(key)
+        return True
 
     # -- queries ------------------------------------------------------------------
 

@@ -35,7 +35,10 @@ from repro.core.metrics import (
     per_cpu_distribution,
     throughput_at,
 )
+from repro.core.reports import CollectReport, DeployReport
 from repro.core.tracedb import TraceDB
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.net.addressing import IPv4Address
 from repro.net.stack import KernelNode
 from repro.net.traceid import enable_trace_ids
@@ -55,6 +58,14 @@ class VNetTracer:
     in ``docs/OBSERVABILITY.md``.  Call :meth:`attach_stats_sampler`
     to snapshot it periodically and :meth:`pipeline_health` for a
     rendered report.
+
+    .. note:: For new code, prefer building the pipeline through
+       :class:`~repro.core.session.TracerSession` -- the fluent
+       front-end over this class (``with_agent(...)``,
+       ``with_clock_sync(...)``, ``with_fault_plan(...)``,
+       ``deploy(spec)``).  This class remains fully supported as the
+       underlying engine-room API; the session builder simply removes
+       the need to touch five constructors for the §III-A walkthrough.
     """
 
     def __init__(
@@ -67,8 +78,10 @@ class VNetTracer:
         self.obs = registry if registry is not None else MetricsRegistry()
         self.db = TraceDB()
         self.collector = RawDataCollector(engine, self.db, registry=self.obs)
-        self.dispatcher = ControlDataDispatcher(engine, master_name)
+        self.dispatcher = ControlDataDispatcher(engine, master_name, registry=self.obs)
         self.agents: Dict[str, Agent] = {}
+        self.fault_plan: Optional[FaultPlan] = None
+        self.fault_injector: Optional[FaultInjector] = None
         self.active_spec: Optional[TracingSpec] = None
         self.clock_estimates: Dict[str, SkewEstimate] = {}
         self.sampler: Optional[StatsSampler] = None
@@ -85,9 +98,32 @@ class VNetTracer:
         if enable_packet_ids:
             enable_trace_ids(node)
         agent = Agent(node, self.collector, registry=self.obs)
+        if self.fault_injector is not None:
+            agent.set_fault_injector(self.fault_injector)
         self.agents[node.name] = agent
         self.dispatcher.register_agent(agent)
         return agent
+
+    def set_fault_plan(self, plan: Optional[FaultPlan]) -> Optional[FaultInjector]:
+        """Attach a :class:`~repro.faults.plan.FaultPlan`: control and
+        shipment channels start drawing fault decisions from the plan's
+        seeded RNG streams, and scheduled crashes / ring-pressure
+        windows are armed on the engine (docs/FAULTS.md).  Pass ``None``
+        to detach.  Returns the armed injector."""
+        self.fault_plan = plan
+        if plan is None:
+            self.fault_injector = None
+            self.dispatcher.set_fault_injector(None)
+            for agent in self.agents.values():
+                agent.set_fault_injector(None)
+            return None
+        injector = FaultInjector(self.engine, plan, registry=self.obs)
+        self.fault_injector = injector
+        self.dispatcher.set_fault_injector(injector)
+        for agent in self.agents.values():
+            agent.set_fault_injector(injector)
+        injector.arm(self.agents.get)
+        return injector
 
     def synchronize_clocks(
         self,
@@ -123,21 +159,31 @@ class VNetTracer:
 
     # -- deployment -------------------------------------------------------------
 
-    def deploy(self, spec: TracingSpec) -> None:
-        """Ship tracing scripts; they attach after the control latency."""
+    def deploy(self, spec: TracingSpec) -> DeployReport:
+        """Ship tracing scripts; they attach after the control latency.
+
+        Returns a :class:`~repro.core.reports.DeployReport` with the
+        delivery accounting (attempts, retries, acked agents).  The
+        report iterates and compares like the package list older
+        callers expected, so code that ignored or list-compared the
+        return value keeps working (see the README migration note)."""
         self.active_spec = spec
         self.collector.register_labels(
             {tp.tracepoint_id: tp.label for tp in spec.tracepoints}
         )
-        self.dispatcher.deploy(spec)
+        return self.dispatcher.deploy(spec)
 
     def undeploy(self) -> None:
         self.dispatcher.undeploy_all()
 
     # -- collection ------------------------------------------------------------------
 
-    def collect(self) -> int:
-        """Offline collection: drain every agent's local store."""
+    def collect(self) -> CollectReport:
+        """Offline collection: drain every agent's local store.
+
+        Returns a :class:`~repro.core.reports.CollectReport` that still
+        compares, adds, and formats like the old ``int`` record count
+        (see the README migration note)."""
         return self.collector.collect_all_offline()
 
     # -- span timelines ---------------------------------------------------------

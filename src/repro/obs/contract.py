@@ -10,7 +10,9 @@ in-kernel record buffer), ``agent`` (the per-node daemon), ``collector``
 (master-side ingest + heartbeats), ``clocksync`` (Cristian rounds),
 ``ebpf`` (the VM/JIT executing tracing scripts), ``sampler`` (the
 observability layer itself), ``tracing`` (span-tree reconstruction,
-see ``docs/TIMELINES.md``).
+see ``docs/TIMELINES.md``), ``faults`` (control/data-plane delivery
+attempts, retries, and injected-fault accounting, see
+``docs/FAULTS.md``).
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ STAGE_CLOCKSYNC = "clocksync"
 STAGE_EBPF = "ebpf"
 STAGE_SAMPLER = "sampler"
 STAGE_TRACING = "tracing"
+STAGE_FAULTS = "faults"
 
 # Fixed bucket bounds (upper edges; +Inf is implicit).  Batch sizes are
 # records per flush; latencies are nanoseconds of virtual time.
@@ -185,6 +188,61 @@ SPAN_ANOMALIES = MetricSpec(
     "median for that hop).",
     "spans", STAGE_TRACING)
 
+# -- faults + delivery retries (core/dispatcher.py, core/agent.py,
+#    core/collector.py, faults/inject.py) --------------------------------------
+
+RETRY_DEPLOY_ATTEMPTS = MetricSpec(
+    "vnt_retry_deploy_attempts_total", "counter",
+    "Control-package delivery attempts by the dispatcher (first sends "
+    "and retries alike; at least one per package even without faults).",
+    "attempts", STAGE_FAULTS, ("node",))
+RETRY_DEPLOY_RETRIES = MetricSpec(
+    "vnt_retry_deploy_retries_total", "counter",
+    "Control-package deliveries re-attempted after an ack timeout.",
+    "retries", STAGE_FAULTS, ("node",))
+RETRY_SHIP_ATTEMPTS = MetricSpec(
+    "vnt_retry_ship_attempts_total", "counter",
+    "Record-batch transmissions by agents (first sends and retries).",
+    "attempts", STAGE_FAULTS, ("node",))
+RETRY_SHIP_RETRIES = MetricSpec(
+    "vnt_retry_ship_retries_total", "counter",
+    "Record-batch transmissions re-attempted after an ack timeout.",
+    "retries", STAGE_FAULTS, ("node",))
+FAULT_CONTROL_INJECTED = MetricSpec(
+    "vnt_fault_control_injected_total", "counter",
+    "Faults injected on the dispatcher<->agent control channel, "
+    "by kind (loss, duplicate, delay).",
+    "faults", STAGE_FAULTS, ("kind",))
+FAULT_SHIPMENT_INJECTED = MetricSpec(
+    "vnt_fault_shipment_injected_total", "counter",
+    "Faults injected on the agent->collector shipment channel, "
+    "by kind (loss, duplicate, delay).",
+    "faults", STAGE_FAULTS, ("kind",))
+FAULT_AGENT_CRASHES = MetricSpec(
+    "vnt_fault_agent_crashes_total", "counter",
+    "Scheduled agent crashes executed by the fault injector.",
+    "crashes", STAGE_FAULTS, ("node",))
+FAULT_AGENT_RESTARTS = MetricSpec(
+    "vnt_fault_agent_restarts_total", "counter",
+    "Agent restarts after a scheduled crash.",
+    "restarts", STAGE_FAULTS, ("node",))
+FAULT_RECORDS_LOST = MetricSpec(
+    "vnt_fault_records_lost_total", "counter",
+    "Trace records lost to faults, by reason: shipment (batch "
+    "abandoned after retry-budget exhaustion), crash_ring / crash_store "
+    "(buffered records discarded by an agent crash), ring_policy "
+    "(records evicted or sampled out under a degradation policy).",
+    "records", STAGE_FAULTS, ("node", "reason"))
+FAULT_RING_PRESSURE = MetricSpec(
+    "vnt_fault_ring_pressure_total", "counter",
+    "Forced ring-buffer pressure windows applied by the fault injector.",
+    "windows", STAGE_FAULTS, ("node",))
+FAULT_SHIPMENT_DEDUPED = MetricSpec(
+    "vnt_fault_shipment_deduped_total", "counter",
+    "Duplicate record batches discarded by TraceDB-side dedup "
+    "(same node + sequence number seen before).",
+    "batches", STAGE_FAULTS, ("node",))
+
 ALL_METRICS: Tuple[MetricSpec, ...] = (
     RING_APPENDED, RING_DROPPED, RING_FLUSHES, RING_FLUSH_BATCH, RING_OCCUPANCY_HWM,
     AGENT_PROBE_FIRES, AGENT_FLUSH_LATENCY, AGENT_BATCHES_SENT,
@@ -195,9 +253,14 @@ ALL_METRICS: Tuple[MetricSpec, ...] = (
     EBPF_RUNS, EBPF_INSNS, EBPF_HELPER_CALLS, EBPF_EXEC_NS, EBPF_PROGRAMS_LOADED,
     SAMPLER_SAMPLES,
     SPAN_TREES, SPAN_SPANS, SPAN_ORPHANS, SPAN_ANOMALIES,
+    RETRY_DEPLOY_ATTEMPTS, RETRY_DEPLOY_RETRIES,
+    RETRY_SHIP_ATTEMPTS, RETRY_SHIP_RETRIES,
+    FAULT_CONTROL_INJECTED, FAULT_SHIPMENT_INJECTED,
+    FAULT_AGENT_CRASHES, FAULT_AGENT_RESTARTS,
+    FAULT_RECORDS_LOST, FAULT_RING_PRESSURE, FAULT_SHIPMENT_DEDUPED,
 )
 
 ALL_STAGES: Tuple[str, ...] = (
     STAGE_RINGBUFFER, STAGE_AGENT, STAGE_COLLECTOR, STAGE_CLOCKSYNC,
-    STAGE_EBPF, STAGE_SAMPLER, STAGE_TRACING,
+    STAGE_EBPF, STAGE_SAMPLER, STAGE_TRACING, STAGE_FAULTS,
 )

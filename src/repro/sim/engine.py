@@ -214,6 +214,16 @@ class Engine:
         heapq.heappush(self._heap, event)
         return event
 
+    def at_or_now(self, time_ns: int, fn: Callable[..., Any], *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute time ``time_ns``, clamped to now.
+
+        Unlike :meth:`schedule_at`, a timestamp already in the past is not
+        an error: the callback fires at the current time instead.  Fault
+        plans use this so "crash node X at t=50ms" armed at t=60ms still
+        takes effect (immediately) rather than aborting the run.
+        """
+        return self.schedule_at(max(int(time_ns), self._now), fn, *args)
+
     def process(self, generator: Generator, name: str = "") -> SimProcess:
         """Start a cooperative process; its first step runs at the current time."""
         proc = SimProcess(self, generator, name=name)

@@ -1,0 +1,96 @@
+"""The fault-equivalence experiment (docs/FAULTS.md).
+
+The headline invariant of the resilient delivery layer:
+
+* with retries enabled, a faulty run ends byte-identical to the
+  fault-free run (same rows, same decomposition, same timeline export);
+* with retries disabled, every missing row is accounted for exactly in
+  ``vnt_fault_records_lost_total``.
+"""
+
+import pytest
+
+from repro.experiments.fault_case import (
+    default_fault_plan,
+    run_fault_case,
+    run_fault_equivalence,
+)
+
+PACKETS = 60
+
+
+@pytest.fixture(scope="module")
+def equivalence():
+    return run_fault_equivalence(seed=7, packets=PACKETS)
+
+
+class TestEquivalenceInvariant:
+    def test_baseline_observes_every_packet(self, equivalence):
+        baseline = equivalence.baseline
+        assert baseline.rows == 2 * PACKETS
+        assert baseline.rows_by_label == {"recv": PACKETS, "send": PACKETS}
+        assert baseline.records_lost == 0
+
+    def test_faults_actually_fired(self, equivalence):
+        faulty = equivalence.faulty
+        assert faulty.metrics["control_injected"] > 0
+        assert faulty.metrics["shipment_injected"] > 0
+        assert faulty.deploy_retries > 0
+        assert faulty.ship_retries > 0
+        assert faulty.deduped_batches > 0
+
+    def test_retries_make_faults_invisible(self, equivalence):
+        assert equivalence.rows_match
+        assert equivalence.decomposition_match
+        assert equivalence.timeline_match
+        assert equivalence.equivalent
+        assert equivalence.faulty.records_lost == 0
+        assert equivalence.faulty.deploy_report.complete
+
+    def test_loss_accounted_exactly_without_retries(self, equivalence):
+        lossy = equivalence.lossy_no_retries
+        assert lossy.rows < equivalence.baseline.rows  # loss really happened
+        assert equivalence.loss_accounted
+        assert (
+            equivalence.baseline.rows - lossy.rows == lossy.records_lost
+        )
+        # Retries disabled: every loss is a shipment loss, nothing else.
+        assert set(lossy.records_lost_by_reason) == {"shipment"}
+        assert lossy.ship_retries == 0
+
+
+class TestDeterminism:
+    def test_same_seed_and_plan_byte_identical(self):
+        """Satellite invariant: two runs under the same FaultPlan produce
+        byte-identical timeline exports and identical stats."""
+        first = run_fault_case(
+            seed=7, plan=default_fault_plan(7), packets=PACKETS)
+        second = run_fault_case(
+            seed=7, plan=default_fault_plan(7), packets=PACKETS)
+        assert first.timeline_json == second.timeline_json
+        assert first.rows == second.rows
+        assert first.rows_by_label == second.rows_by_label
+        assert first.decomposition == second.decomposition
+        assert first.deploy_retries == second.deploy_retries
+        assert first.ship_retries == second.ship_retries
+        assert first.metrics == second.metrics
+
+
+class TestFaultsCLI:
+    def test_json_report_is_canonical_and_passing(self, capsys):
+        import json
+
+        from repro.cli import main
+
+        assert main(["faults", "--seed", "7",
+                     "--packets", str(PACKETS), "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["invariants"] == {
+            "rows_match": True,
+            "decomposition_match": True,
+            "timeline_match": True,
+            "loss_accounted": True,
+        }
+        legs = doc["legs"]
+        assert legs["baseline"]["rows"] == legs["faulty_with_retries"]["rows"]
+        assert legs["lossy_no_retries"]["records_lost"] > 0

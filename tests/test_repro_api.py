@@ -33,6 +33,27 @@ class TestTopLevelAPI:
                      "IperfUDPClient"):
             assert name in workloads.__all__
 
+    def test_all_matches_readme_public_api(self):
+        """The README's 'Public API' section and ``repro.__all__`` are
+        the same list -- neither can drift without the other."""
+        import re
+        from pathlib import Path
+
+        readme = Path(__file__).resolve().parents[1] / "README.md"
+        section = readme.read_text().split("## Public API", 1)[1]
+        section = section.split("\n## ", 1)[0]
+        documented = re.findall(
+            r"^- `([A-Za-z_][A-Za-z0-9_]*)`", section, flags=re.M)
+        assert documented, "README Public API section lists no names"
+        assert sorted(documented) == sorted(repro.__all__)
+
+    def test_fault_and_report_exports(self):
+        for name in ("TracerSession", "FaultPlan", "ChannelFaults",
+                     "CrashEvent", "RingPressureEvent", "DeployReport",
+                     "CollectReport"):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
     def test_minimal_user_journey(self):
         """The README snippet's skeleton must keep working."""
         from repro import Engine, FilterRule, TracepointSpec, TracingSpec, VNetTracer
