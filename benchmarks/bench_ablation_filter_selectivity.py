@@ -33,7 +33,11 @@ def _run(rule, duration_ns: int = DURATION_NS) -> float:
         )
         tracer.deploy(spec)
     client.start(duration_ns)
-    engine.schedule(50_000_000, server.reset_window)
+    # Warm-up cutoff: restart the measurement window once the first 20%
+    # of the run is done.  Scaled with the duration -- a fixed offset
+    # past a short preset's traffic would reset an already-idle server
+    # and report 0 goodput (the stale-baseline bug).
+    engine.schedule(duration_ns // 5, server.reset_window)
     engine.run(until=duration_ns + 100_000_000)
     return server.goodput_bps()
 

@@ -1,0 +1,119 @@
+"""Microbenchmark: bulk blob ingest + repeated per-flow metric queries.
+
+The analytics half of the pipeline is the collector bulk-ingesting
+packed ring-buffer blobs into the columnar TraceDB, then the metrics
+layer querying the same tables over and over (every figure script asks
+for latency/decomposition/throughput repeatedly).  This scenario drives
+both halves through engine events: per-node shipment blobs arrive in
+sequence (with periodic retry duplicates for the dedup path), and query
+rounds run interleaved with ingest so the sorted indexes are repeatedly
+invalidated and rebuilt -- the worst realistic case for the lazy-index
+design, gated on events/s against the committed baseline.
+"""
+
+from repro.core.collector import RawDataCollector
+from repro.core.records import TraceRecord
+from repro.core.tracedb import TraceDB
+from repro.sim.engine import Engine
+
+FULL_TRACES = 5_000
+BATCH_TRACES = 50  # traces per shipment blob (=> 100 records per node blob)
+QUERY_EVERY = 4  # run a query round after every Nth batch arrival
+DUP_EVERY = 10  # every Nth shipment is delivered twice (dedup path)
+
+# Two nodes, two tracepoints each: the quickstart chain's shape.
+_LABELS = {0: "send", 1: "nic-out", 2: "nic-in", 3: "deliver"}
+_CHAIN = ("send", "nic-out", "nic-in", "deliver")
+_HOP_NS = (9_000, 27_000, 9_500)
+_RX_SKEW_NS = -1_500_000  # rx clock runs ahead; insert-time alignment
+
+
+def _blobs(first_trace: int) -> "dict[str, bytes]":
+    """One shipment window: packed per-node blobs for BATCH_TRACES traces."""
+    tx = bytearray()
+    rx = bytearray()
+    for trace_id in range(first_trace, first_trace + BATCH_TRACES):
+        base = 1_000_000 + trace_id * 40_000
+        cpu = trace_id % 4
+        tx += TraceRecord(trace_id, 0, base, 1500, cpu).pack()
+        tx += TraceRecord(trace_id, 1, base + _HOP_NS[0], 1500, cpu).pack()
+        rx_base = base + _HOP_NS[0] + _HOP_NS[1] - _RX_SKEW_NS
+        rx += TraceRecord(trace_id, 2, rx_base, 1500, cpu).pack()
+        rx += TraceRecord(trace_id, 3, rx_base + _HOP_NS[2], 1500, cpu).pack()
+    return {"tx": bytes(tx), "rx": bytes(rx)}
+
+
+def _build(total_traces: int) -> dict:
+    from repro.core import metrics
+
+    engine = Engine()
+    db = TraceDB()
+    db.set_clock_skew("rx", _RX_SKEW_NS)
+    collector = RawDataCollector(engine, db)
+    collector.register_labels(_LABELS)
+
+    queries = {"rounds": 0, "latencies": 0, "rows_scanned": 0}
+
+    def ingest(first_trace: int, seq: int, duplicate: bool) -> None:
+        blobs = _blobs(first_trace)
+        for node in ("tx", "rx"):
+            collector.receive_batch(node, blobs[node], seq=seq)
+            if duplicate:  # retry of the same shipment; must dedup
+                collector.receive_batch(node, blobs[node], seq=seq)
+
+    def query_round(upto_trace: int) -> None:
+        queries["rounds"] += 1
+        latencies = metrics.latency_between(db, "send", "deliver")
+        queries["latencies"] += len(latencies)
+        segments = metrics.decompose_latency(db, _CHAIN)
+        queries["rows_scanned"] += sum(len(s.latencies_ns) for s in segments)
+        metrics.throughput_at(db, "deliver")
+        metrics.event_rate(db, "send")
+        metrics.per_cpu_distribution(db, "deliver")
+        # Per-flow point lookups: a sample of individual traces.
+        for trace_id in range(max(1, upto_trace - 25), upto_trace + 1):
+            queries["rows_scanned"] += len(db.rows_for_trace(trace_id))
+
+    seq = 0
+    for first in range(1, total_traces + 1, BATCH_TRACES):
+        seq += 1
+        at_ns = seq * 1_000
+        engine.schedule(at_ns, ingest, first, seq, seq % DUP_EVERY == 0)
+        if seq % QUERY_EVERY == 0:
+            engine.schedule(at_ns + 500, query_round, first + BATCH_TRACES - 1)
+    engine.run()
+    query_round(total_traces)
+
+    throughput = metrics.throughput_at(db, "deliver")
+    return {
+        "rows_inserted": db.rows_inserted,
+        "deduped_batches": db.deduped_batches,
+        "query_rounds": queries["rounds"],
+        "latencies_matched": queries["latencies"],
+        "rows_scanned": queries["rows_scanned"],
+        "deliver_mbps": round(throughput.bits_per_second / 1e6, 1),
+    }
+
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    from repro.bench.presets import scale_count
+
+    return _build(scale_count(preset, FULL_TRACES, floor=500))
+
+
+def test_micro_tracedb_query(benchmark, once, report):
+    results = once(_build, 1_000)
+    report(
+        "Micro: blob ingest + repeated metric queries",
+        {
+            "rows inserted": results["rows_inserted"],
+            "deduped batches": results["deduped_batches"],
+            "query rounds": results["query_rounds"],
+            "latencies matched": results["latencies_matched"],
+        },
+    )
+    assert results["rows_inserted"] == 4_000
+    assert results["deduped_batches"] == 2 * (20 // DUP_EVERY)
+    assert results["latencies_matched"] > 0
+    assert results["deliver_mbps"] > 0

@@ -356,10 +356,19 @@ def _bench(args) -> int:
                 print(scenario.name)
             return 0
         progress = None if args.json else print
+        profile = None
+        if args.profile is not None:
+            import cProfile
+
+            profile = cProfile.Profile()
+            profile.enable()
         results = run_suite(
             preset=args.preset, only=args.only or None, bench_dir=bench_dir,
             progress=progress,
         )
+        if profile is not None:
+            profile.disable()
+            _print_profile(profile, args.profile)
         report = build_report(results, args.preset, deterministic=args.deterministic)
         if args.json:
             print(dumps_report(report), end="")
@@ -392,6 +401,19 @@ def _bench(args) -> int:
     except (DiscoveryError, SchemaError) as exc:
         print(f"bench: {exc}", file=sys.stderr)
         return 2
+
+
+def _print_profile(profile, top_n: int, stream=None) -> None:
+    """Top-N cumulative-time functions of a finished cProfile run, so
+    perf PRs can cite a profile instead of guessing (stderr: keeps
+    ``--json`` stdout parseable)."""
+    import pstats
+
+    stream = stream if stream is not None else sys.stderr
+    print(f"\n-- profile: top {top_n} functions by cumulative time --",
+          file=stream)
+    stats = pstats.Stats(profile, stream=stream)
+    stats.strip_dirs().sort_stats("cumulative").print_stats(top_n)
 
 
 def _trace_id(text: str) -> int:
@@ -486,6 +508,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rewrite benchmarks/baseline.json from this run")
     bench.add_argument("--tolerance", type=float, default=0.5,
                        help="tolerance recorded with --update-baseline (default 0.5)")
+    bench.add_argument("--profile", type=int, nargs="?", const=25, default=None,
+                       metavar="N",
+                       help="wrap the run in cProfile and print the top N "
+                            "functions by cumulative time (default 25) to "
+                            "stderr")
     bench.add_argument("--deterministic", action="store_true",
                        help="emit only simulation-derived fields (byte-diffable)")
     bench.add_argument("--list", action="store_true",

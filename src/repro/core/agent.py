@@ -43,7 +43,7 @@ from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.core.compiler import compile_script
 from repro.core.config import ControlPackage
-from repro.core.records import RECORD_BYTES, unpack_batch
+from repro.core.records import RECORD_BYTES
 from repro.core.ringbuffer import FLUSH_FIXED_COST_NS, TraceRingBuffer
 from repro.ebpf.maps import PerCPUArrayMap, PerfEventArray
 from repro.ebpf.probes import EBPFAttachment
@@ -66,14 +66,19 @@ SHIP_NET_LATENCY_NS = 200_000
 
 
 class _PendingShip:
-    """Retry state for one sequence-numbered online batch."""
+    """Retry state for one sequence-numbered online batch.
 
-    __slots__ = ("seq", "records", "shipped_at", "attempts", "acked",
+    Carries the packed blob exactly as the ring buffer produced it --
+    the records are never decoded on the agent; the collector
+    bulk-ingests the blob straight into the trace database's columns."""
+
+    __slots__ = ("seq", "blob", "count", "shipped_at", "attempts", "acked",
                  "delivered", "timer")
 
-    def __init__(self, seq: int, records, shipped_at: int):
+    def __init__(self, seq: int, blob: bytes, count: int, shipped_at: int):
         self.seq = seq
-        self.records = records
+        self.blob = blob
+        self.count = count
         self.shipped_at = shipped_at
         self.attempts = 0
         self.acked = False
@@ -316,7 +321,7 @@ class Agent:
                 state.timer.cancel()
                 state.timer = None
             if not state.delivered:
-                self.fault_metrics.records_lost(name, "shipment", len(state.records))
+                self.fault_metrics.records_lost(name, "shipment", state.count)
                 self.collector.skip_shipment(name, state.seq)
         self._pending_ships.clear()
         if self._heartbeat_timer is not None:
@@ -370,12 +375,16 @@ class Agent:
             self.local_store.extend(batch)
 
     def _ship(self, batch: List[bytes]) -> None:
-        cost = BATCH_FIXED_COST_NS + int(len(batch) * RECORD_BYTES * BATCH_NS_PER_BYTE)
+        blob = b"".join(batch)
+        # Same formula as the legacy per-record path: every record is
+        # exactly RECORD_BYTES on the wire, so len(blob) == len(batch) *
+        # RECORD_BYTES and the simulated timing is unchanged.
+        cost = BATCH_FIXED_COST_NS + int(len(blob) * BATCH_NS_PER_BYTE)
         self.batches_sent += 1
         self.records_forwarded += len(batch)
         self._count_shipment(len(batch))
         self._ship_seq += 1
-        state = _PendingShip(self._ship_seq, unpack_batch(batch), self.engine.now)
+        state = _PendingShip(self._ship_seq, blob, len(batch), self.engine.now)
         self._pending_ships[state.seq] = state
         # Online shipping consumes agent CPU (once -- retransmissions
         # resend the serialized buffer for free) and takes network time.
@@ -415,9 +424,9 @@ class Agent:
         state.delivered = True
         if first:
             self.ship_log.append(
-                (state.shipped_at, self.engine.now, self.node.name, len(state.records))
+                (state.shipped_at, self.engine.now, self.node.name, state.count)
             )
-        self.collector.receive_batch(self.node.name, state.records, seq=state.seq)
+        self.collector.receive_batch(self.node.name, state.blob, seq=state.seq)
         # The ack crosses the same lossy channel, in the other direction.
         decision = (
             self.injector.shipment_decision() if self.injector is not None else None
@@ -449,24 +458,26 @@ class Agent:
         self._pending_ships.pop(state.seq, None)
         if not state.delivered:
             self.fault_metrics.records_lost(
-                self.node.name, "shipment", len(state.records))
+                self.node.name, "shipment", state.count)
             self.collector.skip_shipment(self.node.name, state.seq)
 
     def collect_local(self) -> int:
-        """Offline collection: drain the local store to the collector."""
+        """Offline collection: drain the local store to the collector
+        as one packed blob (records stay serialized end to end)."""
         if self.ring is not None:
             self.ring.flush()
         if not self.local_store:
             return 0
         batch, self.local_store = self.local_store, []
-        records = unpack_batch(batch)
-        self.records_forwarded += len(records)
+        blob = b"".join(batch)
+        count = len(blob) // RECORD_BYTES
+        self.records_forwarded += count
         self.batches_sent += 1
-        self._count_shipment(len(records))
+        self._count_shipment(count)
         # Offline pull: the master collected, the agent did not report
         # -- must not refresh the agent's heartbeat (see collector docs).
-        self.collector.receive_batch(self.node.name, records, liveness=False)
-        return len(records)
+        self.collector.receive_batch(self.node.name, blob, liveness=False)
+        return count
 
     # -- heartbeats -------------------------------------------------------------
 

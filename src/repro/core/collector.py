@@ -35,7 +35,7 @@ stale through final collection.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING, Union
 
 from repro.core.records import TraceRecord
 from repro.core.reports import CollectReport, merge_node_counts
@@ -49,6 +49,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.agent import Agent
     from repro.tracing.reconstruct import SpanAssembler
 
+# One shipment: a packed blob of 24-byte records (the hot path) or a
+# decoded record list (direct calls, tests).
+Batch = Union[bytes, List[TraceRecord]]
+
 
 class RawDataCollector:
     """Batch ingest + heartbeat monitoring."""
@@ -60,7 +64,7 @@ class RawDataCollector:
         registry: Optional[MetricsRegistry] = None,
     ):
         self.engine = engine
-        self.db = db or TraceDB()
+        self.db = db if db is not None else TraceDB(registry=registry)
         self.registry = registry
         self.agents: Dict[str, "Agent"] = {}
         self._labels: Dict[int, str] = {}  # tracepoint_id -> label
@@ -75,7 +79,7 @@ class RawDataCollector:
         # number to apply, batches held for an earlier gap, and seqs the
         # agent told us will never arrive (docs/FAULTS.md).
         self._next_seq: Dict[str, int] = {}
-        self._held: Dict[str, Dict[int, List[TraceRecord]]] = {}
+        self._held: Dict[str, Dict[int, Batch]] = {}
         self._skipped: Dict[str, set] = {}
         self.fault_metrics = FaultMetrics(registry)
 
@@ -107,12 +111,15 @@ class RawDataCollector:
     def receive_batch(
         self,
         node: str,
-        records: List[TraceRecord],
+        records: "Batch",
         liveness: bool = True,
         seq: Optional[int] = None,
     ) -> bool:
-        """Ingest one batch; timestamps are aligned by ``TraceDB.insert``
-        using the node's registered skew offset (see the module docstring).
+        """Ingest one batch -- either a packed shipment blob (``bytes``,
+        the agents' hot path, bulk-decoded by ``TraceDB.insert_packed``)
+        or a list of :class:`TraceRecord` (the legacy direct path);
+        timestamps are aligned by the database using the node's
+        registered skew offset (see the module docstring).
 
         ``liveness`` controls whether the batch refreshes the node's
         heartbeat stamp: online shipments do (the agent reported on its
@@ -161,22 +168,28 @@ class RawDataCollector:
             nxt += 1
         self._next_seq[node] = nxt
 
-    def _apply(self, node: str, records: List[TraceRecord]) -> None:
+    def _apply(self, node: str, records: "Batch") -> None:
         self.batches_received += 1
         if self._m_batches is not None:
             self._m_batches.inc()
-        for record in records:
-            label = self._labels.get(record.tracepoint_id)
-            if label is None:
-                self.unknown_tracepoint_records += 1
-                if self._m_unknown is not None:
-                    self._m_unknown.inc()
-                label = f"tracepoint-{record.tracepoint_id}"
-            self.db.insert(node, label, record)
-            self.records_received += 1
+        if isinstance(records, (bytes, bytearray, memoryview)):
+            count, unknown = self.db.insert_packed(node, records, self._labels)
+        else:
+            count = len(records)
+            unknown = 0
+            for record in records:
+                label = self._labels.get(record.tracepoint_id)
+                if label is None:
+                    unknown += 1
+                    label = f"tracepoint-{record.tracepoint_id}"
+                self.db.insert(node, label, record)
+        self.records_received += count
+        self.unknown_tracepoint_records += unknown
+        if unknown and self._m_unknown is not None:
+            self._m_unknown.inc(unknown)
         if self._m_records is not None:
-            self._m_records.inc(len(records))
-        self.batch_log.append((self.engine.now, node, len(records)))
+            self._m_records.inc(count)
+        self.batch_log.append((self.engine.now, node, count))
 
     def pending_batches(self, node: str) -> int:
         """Batches held by the resequencer waiting for an earlier seq."""

@@ -57,17 +57,44 @@ def throughput_at(
     start_ns: Optional[int] = None,
     end_ns: Optional[int] = None,
 ) -> ThroughputResult:
-    """Throughput observed at one tracepoint over its record window."""
-    rows = db.time_range(label, start_ns, end_ns)
-    if len(rows) < 2:
-        return ThroughputResult(0.0, len(rows), 0, 0)
-    rows = sorted(rows, key=lambda r: r.timestamp_ns)
+    """Throughput observed at one tracepoint over its record window.
+
+    Iterates the table's columns directly: the payload sum runs over the
+    packet-length column and the window comes from the timestamp index
+    (no row materialization, no per-call sort)."""
+    columns = db.columns(label)
     overhead = TRACE_ID_BYTES if subtract_id_bytes else 0
-    payload = sum(max(0, row.packet_len - overhead) for row in rows)
-    window = rows[-1].timestamp_ns - rows[0].timestamp_ns
+    if columns is None:
+        return ThroughputResult(0.0, 0, 0, 0)
+    if start_ns is None and end_ns is None:
+        count = len(columns.timestamp_ns)
+        if count < 2:
+            return ThroughputResult(0.0, count, 0, 0)
+        payload = sum(
+            length - overhead for length in columns.packet_len if length > overhead
+        )
+        low, high = db.ts_minmax(label)
+    else:
+        count = payload = 0
+        low = high = None
+        for ts, length in zip(columns.timestamp_ns, columns.packet_len):
+            if (start_ns is not None and ts < start_ns) or (
+                end_ns is not None and ts > end_ns
+            ):
+                continue
+            count += 1
+            if length > overhead:
+                payload += length - overhead
+            if low is None or ts < low:
+                low = ts
+            if high is None or ts > high:
+                high = ts
+        if count < 2:
+            return ThroughputResult(0.0, count, 0, 0)
+    window = high - low
     if window <= 0:
-        return ThroughputResult(0.0, len(rows), payload, 0)
-    return ThroughputResult(payload * 8 * 1e9 / window, len(rows), payload, window)
+        return ThroughputResult(0.0, count, payload, 0)
+    return ThroughputResult(payload * 8 * 1e9 / window, count, payload, window)
 
 
 def latency_between(db: TraceDB, from_label: str, to_label: str) -> List[int]:
@@ -76,26 +103,26 @@ def latency_between(db: TraceDB, from_label: str, to_label: str) -> List[int]:
     Timestamps are already master-aligned (DB applies the Cristian
     skew), so cross-node pairs subtract directly:
     dT = t2 - t1 (+ skew), §III-D."""
-    first = db.trace_ids_at(from_label)
-    second = db.trace_ids_at(to_label)
+    first = db.first_ts_at(from_label)
+    second = db.first_ts_at(to_label)
     latencies = []
-    for trace_id, row_a in first.items():
-        row_b = second.get(trace_id)
-        if row_b is not None:
-            latencies.append(row_b.timestamp_ns - row_a.timestamp_ns)
+    for trace_id, ts_a in first.items():
+        ts_b = second.get(trace_id)
+        if ts_b is not None:
+            latencies.append(ts_b - ts_a)
     return latencies
 
 
 def latency_pairs(db: TraceDB, from_label: str, to_label: str) -> List[tuple]:
     """(start_timestamp, latency) pairs ordered by start time -- the
     per-packet-index series of Fig. 11."""
-    first = db.trace_ids_at(from_label)
-    second = db.trace_ids_at(to_label)
+    first = db.first_ts_at(from_label)
+    second = db.first_ts_at(to_label)
     pairs = []
-    for trace_id, row_a in first.items():
-        row_b = second.get(trace_id)
-        if row_b is not None:
-            pairs.append((row_a.timestamp_ns, row_b.timestamp_ns - row_a.timestamp_ns))
+    for trace_id, ts_a in first.items():
+        ts_b = second.get(trace_id)
+        if ts_b is not None:
+            pairs.append((ts_a, ts_b - ts_a))
     pairs.sort()
     return pairs
 
@@ -109,8 +136,8 @@ def decompose_latency(db: TraceDB, chain: Sequence[str]) -> List[SegmentLatency]
     complete_ids = set(db.complete_traces(chain))
     per_label: Dict[str, Dict[int, int]] = {
         label: {
-            trace_id: row.timestamp_ns
-            for trace_id, row in db.trace_ids_at(label).items()
+            trace_id: ts
+            for trace_id, ts in db.first_ts_at(label).items()
             if trace_id in complete_ids
         }
         for label in chain
@@ -143,23 +170,29 @@ def packet_loss(db: TraceDB, from_label: str, to_label: str) -> LossResult:
 
 
 def per_cpu_distribution(db: TraceDB, label: str) -> Dict[int, float]:
-    """Fraction of records per CPU at a tracepoint (Fig. 13a)."""
-    rows = db.table(label)
-    if not rows:
+    """Fraction of records per CPU at a tracepoint (Fig. 13a).
+
+    Counts straight off the CPU column."""
+    columns = db.columns(label)
+    if columns is None or not len(columns.cpu):
         return {}
     counts: Dict[int, int] = {}
-    for row in rows:
-        counts[row.cpu] = counts.get(row.cpu, 0) + 1
-    total = len(rows)
+    for cpu in columns.cpu:
+        counts[cpu] = counts.get(cpu, 0) + 1
+    total = len(columns.cpu)
     return {cpu: count / total for cpu, count in sorted(counts.items())}
 
 
 def event_rate(db: TraceDB, label: str) -> float:
-    """Records per second at a tracepoint (Fig. 13a's execution rate)."""
-    rows = sorted(db.table(label), key=lambda r: r.timestamp_ns)
-    if len(rows) < 2:
+    """Records per second at a tracepoint (Fig. 13a's execution rate).
+
+    The window comes from the table's timestamp index -- no row
+    materialization or per-call sort."""
+    columns = db.columns(label)
+    if columns is None or len(columns.timestamp_ns) < 2:
         return 0.0
-    window = rows[-1].timestamp_ns - rows[0].timestamp_ns
+    low, high = db.ts_minmax(label)
+    window = high - low
     if window <= 0:
         return 0.0
-    return (len(rows) - 1) * 1e9 / window
+    return (len(columns.timestamp_ns) - 1) * 1e9 / window

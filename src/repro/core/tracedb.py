@@ -2,17 +2,40 @@
 tracing records at different tracepoints are dumped into the trace
 database, where records are indexed by their packet IDs").
 
-An in-memory time-series store: one table per tracepoint, a global
-index by trace ID, and the query/cleaning operations the metrics layer
-needs (timestamp alignment for clock skew, incomplete-record
-identification).
+An in-memory *columnar* time-series store: one table per tracepoint
+label, each table a set of parallel ``array`` columns (one machine word
+per field instead of one Python object per record).  The collector's
+hot path, :meth:`TraceDB.insert_packed`, decodes a whole packed
+shipment blob straight into the columns -- no ``TraceRecord`` or
+:class:`TraceRow` objects exist on the ingest path.
+
+Query-side indexes are lazy and insert-invalidated:
+
+* per table, a position list sorted by aligned timestamp
+  (:meth:`ts_minmax` and the metric kernels reuse it until the next
+  insert into that table invalidates it);
+* per trace ID, the timestamp-sorted materialized rows
+  (:meth:`rows_for_trace`), cached so span reconstruction never re-sorts
+  an unchanged trace;
+* per table, the first row position per trace ID, maintained
+  incrementally at append time (:meth:`trace_ids_at` /
+  :meth:`first_ts_at`), and per trace, the set of labels it was seen at
+  (:meth:`complete_traces`).
+
+:class:`TraceRow` views are materialized only at the API boundary, so
+existing callers (metrics, span reconstruction, reports) keep their
+row-level contract -- including iteration orders, which reproduce the
+legacy row-store byte-for-byte (see tests/test_tracedb_columnar.py).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, NamedTuple, Optional
+from array import array
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
 
-from repro.core.records import TraceRecord
+from repro.core.records import RECORD_STRUCT, TraceRecord
+from repro.obs import contract as obs_contract
+from repro.obs.registry import MetricsRegistry
 
 
 class TraceRow(NamedTuple):
@@ -28,19 +51,128 @@ class TraceRow(NamedTuple):
     label: str
 
 
-class TraceDB:
-    """Tables keyed by tracepoint label + a trace-ID index."""
+class TraceColumns(NamedTuple):
+    """Read-only view of one table's columns (for vectorized kernels).
 
-    def __init__(self, table_prefix: str = "vnettracer"):
+    The arrays are the live storage: treat them as immutable snapshots
+    between inserts, never mutate them.
+    """
+
+    trace_id: array
+    timestamp_ns: array
+    packet_len: array
+    cpu: array
+
+
+class _ColumnTable:
+    """One tracepoint table: parallel signed-64 columns + its indexes."""
+
+    __slots__ = (
+        "label",
+        "trace_id",
+        "tracepoint_id",
+        "timestamp_ns",
+        "raw_timestamp_ns",
+        "packet_len",
+        "cpu",
+        "node_idx",
+        "first_by_trace",
+        "ts_order",
+    )
+
+    def __init__(self, label: str):
+        self.label = label
+        self.trace_id = array("q")
+        self.tracepoint_id = array("q")
+        self.timestamp_ns = array("q")  # aligned; skew can push it negative
+        self.raw_timestamp_ns = array("q")
+        self.packet_len = array("q")
+        self.cpu = array("q")
+        self.node_idx = array("q")  # index into TraceDB._nodes
+        # trace_id -> position of its first (truthy-ID) row, in
+        # first-occurrence order -- the legacy trace_ids_at dict order.
+        self.first_by_trace: Dict[int, int] = {}
+        # Positions stable-sorted by aligned timestamp; None = stale.
+        self.ts_order: Optional[List[int]] = None
+
+    def __len__(self) -> int:
+        return len(self.timestamp_ns)
+
+    def append(
+        self,
+        trace_id: int,
+        tracepoint_id: int,
+        aligned_ns: int,
+        raw_ns: int,
+        packet_len: int,
+        cpu: int,
+        node_idx: int,
+    ) -> int:
+        pos = len(self.timestamp_ns)
+        self.trace_id.append(trace_id)
+        self.tracepoint_id.append(tracepoint_id)
+        self.timestamp_ns.append(aligned_ns)
+        self.raw_timestamp_ns.append(raw_ns)
+        self.packet_len.append(packet_len)
+        self.cpu.append(cpu)
+        self.node_idx.append(node_idx)
+        self.ts_order = None  # insert invalidates the sorted index
+        if trace_id and trace_id not in self.first_by_trace:
+            self.first_by_trace[trace_id] = pos
+        return pos
+
+    def bytes_stored(self) -> int:
+        return sum(
+            len(column) * column.itemsize
+            for column in (
+                self.trace_id,
+                self.tracepoint_id,
+                self.timestamp_ns,
+                self.raw_timestamp_ns,
+                self.packet_len,
+                self.cpu,
+                self.node_idx,
+            )
+        )
+
+
+class TraceDB:
+    """Columnar tables keyed by tracepoint label + a trace-ID index."""
+
+    def __init__(
+        self,
+        table_prefix: str = "vnettracer",
+        registry: Optional[MetricsRegistry] = None,
+    ):
         self.table_prefix = table_prefix
-        self._tables: Dict[str, List[TraceRow]] = {}
-        self._by_trace_id: Dict[int, List[TraceRow]] = {}
+        self._tables: Dict[str, _ColumnTable] = {}
+        self._nodes: List[str] = []
+        self._node_ids: Dict[str, int] = {}
+        # trace_id -> [(table, position), ...] in global insertion order
+        # (truthy IDs only), plus the lazily materialized sorted rows and
+        # the set of labels each trace was observed at.
+        self._trace_refs: Dict[int, List[Tuple[_ColumnTable, int]]] = {}
+        self._trace_rows: Dict[int, List[TraceRow]] = {}
+        self._trace_labels: Dict[int, set] = {}
         self._skew_ns: Dict[str, int] = {}  # node -> (master - node) offset
         self.rows_inserted = 0
         # (node, shipment seq) pairs already ingested -- the dedup index
         # behind at-least-once shipment (docs/FAULTS.md).
         self._seen_batches: set = set()
         self.deduped_batches = 0
+        # Observability counters (docs/OBSERVABILITY.md, tracedb stage).
+        self.bulk_batches = 0
+        self.index_rebuilds = 0
+        if registry is not None:
+            registry.register_spec(obs_contract.TRACEDB_BYTES).add_callback(
+                self._bytes_stored_sample
+            )
+            registry.register_spec(obs_contract.TRACEDB_INDEX_REBUILDS).add_callback(
+                self._index_rebuilds_sample
+            )
+            registry.register_spec(obs_contract.TRACEDB_BULK_BATCHES).add_callback(
+                self._bulk_batches_sample
+            )
 
     # -- clock alignment -----------------------------------------------------
 
@@ -59,9 +191,40 @@ class TraceDB:
 
     # -- ingest ------------------------------------------------------------------
 
+    def _table(self, label: str) -> _ColumnTable:
+        table = self._tables.get(label)
+        if table is None:
+            table = self._tables[label] = _ColumnTable(label)
+        return table
+
+    def _node_index(self, node: str) -> int:
+        idx = self._node_ids.get(node)
+        if idx is None:
+            idx = self._node_ids[node] = len(self._nodes)
+            self._nodes.append(node)
+        return idx
+
+    def _note_trace(self, trace_id: int, label: str, table: _ColumnTable, pos: int) -> None:
+        self._trace_refs.setdefault(trace_id, []).append((table, pos))
+        self._trace_rows.pop(trace_id, None)  # insert invalidates the cache
+        self._trace_labels.setdefault(trace_id, set()).add(label)
+
     def insert(self, node: str, label: str, record: TraceRecord) -> TraceRow:
         aligned = record.timestamp_ns + self._skew_ns.get(node, 0)
-        row = TraceRow(
+        table = self._table(label)
+        pos = table.append(
+            record.trace_id,
+            record.tracepoint_id,
+            aligned,
+            record.timestamp_ns,
+            record.packet_len,
+            record.cpu,
+            self._node_index(node),
+        )
+        if record.trace_id:
+            self._note_trace(record.trace_id, label, table, pos)
+        self.rows_inserted += 1
+        return TraceRow(
             trace_id=record.trace_id,
             tracepoint_id=record.tracepoint_id,
             timestamp_ns=aligned,
@@ -71,11 +234,42 @@ class TraceDB:
             node=node,
             label=label,
         )
-        self._tables.setdefault(label, []).append(row)
-        if record.trace_id:
-            self._by_trace_id.setdefault(record.trace_id, []).append(row)
-        self.rows_inserted += 1
-        return row
+
+    def insert_packed(
+        self, node: str, blob: bytes, labels: Dict[int, str]
+    ) -> Tuple[int, int]:
+        """Bulk-ingest one packed shipment blob (N x 24-byte records).
+
+        Decodes straight into the columns -- the per-record Python
+        objects of the legacy path never exist.  ``labels`` maps
+        tracepoint IDs to table labels; records with an unregistered ID
+        land in a ``tracepoint-<id>`` table and are counted.  Returns
+        ``(records_ingested, unknown_tracepoint_records)``."""
+        skew = self._skew_ns.get(node, 0)
+        node_idx = self._node_index(node)
+        tables: Dict[int, _ColumnTable] = {}
+        unknown_ids: set = set()
+        count = 0
+        unknown = 0
+        for trace_id, tracepoint_id, ts, packet_len, cpu in RECORD_STRUCT.iter_unpack(blob):
+            table = tables.get(tracepoint_id)
+            if table is None:
+                label = labels.get(tracepoint_id)
+                if label is None:
+                    unknown_ids.add(tracepoint_id)
+                    label = f"tracepoint-{tracepoint_id}"
+                table = tables[tracepoint_id] = self._table(label)
+            if tracepoint_id in unknown_ids:
+                unknown += 1
+            pos = table.append(
+                trace_id, tracepoint_id, ts + skew, ts, packet_len, cpu, node_idx
+            )
+            if trace_id:
+                self._note_trace(trace_id, table.label, table, pos)
+            count += 1
+        self.rows_inserted += count
+        self.bulk_batches += 1
+        return count, unknown
 
     def mark_batch(self, node: str, seq: int) -> bool:
         """Record a (node, sequence-number) shipment; returns ``False``
@@ -90,43 +284,140 @@ class TraceDB:
         self._seen_batches.add(key)
         return True
 
+    # -- row materialization ------------------------------------------------------
+
+    def _row(self, table: _ColumnTable, pos: int) -> TraceRow:
+        return TraceRow(
+            trace_id=table.trace_id[pos],
+            tracepoint_id=table.tracepoint_id[pos],
+            timestamp_ns=table.timestamp_ns[pos],
+            raw_timestamp_ns=table.raw_timestamp_ns[pos],
+            packet_len=table.packet_len[pos],
+            cpu=table.cpu[pos],
+            node=self._nodes[table.node_idx[pos]],
+            label=table.label,
+        )
+
+    def _materialize(self, table: _ColumnTable) -> List[TraceRow]:
+        nodes = self._nodes
+        label = table.label
+        return [
+            TraceRow(tid, tp, ts, raw, plen, cpu, nodes[node], label)
+            for tid, tp, ts, raw, plen, cpu, node in zip(
+                table.trace_id,
+                table.tracepoint_id,
+                table.timestamp_ns,
+                table.raw_timestamp_ns,
+                table.packet_len,
+                table.cpu,
+                table.node_idx,
+            )
+        ]
+
     # -- queries ------------------------------------------------------------------
 
     def tables(self) -> List[str]:
         return list(self._tables)
 
     def table(self, label: str) -> List[TraceRow]:
-        return list(self._tables.get(label, []))
+        table = self._tables.get(label)
+        return [] if table is None else self._materialize(table)
+
+    def columns(self, label: str) -> Optional[TraceColumns]:
+        """The columns the vectorized metric kernels iterate; ``None``
+        for an unknown label."""
+        table = self._tables.get(label)
+        if table is None:
+            return None
+        return TraceColumns(
+            table.trace_id, table.timestamp_ns, table.packet_len, table.cpu
+        )
+
+    def ts_index(self, label: str) -> List[int]:
+        """Row positions of ``label``'s table, stable-sorted by aligned
+        timestamp.  Built lazily, cached until the next insert into the
+        table, counted in ``index_rebuilds``."""
+        table = self._tables.get(label)
+        if table is None:
+            return []
+        if table.ts_order is None:
+            column = table.timestamp_ns
+            table.ts_order = sorted(range(len(column)), key=column.__getitem__)
+            self.index_rebuilds += 1
+        return table.ts_order
+
+    def ts_minmax(self, label: str) -> Optional[Tuple[int, int]]:
+        """(min, max) aligned timestamp at one tracepoint, via the
+        sorted index; ``None`` for an empty or unknown table."""
+        order = self.ts_index(label)
+        if not order:
+            return None
+        column = self._tables[label].timestamp_ns
+        return column[order[0]], column[order[-1]]
 
     def rows_for_trace(self, trace_id: int) -> List[TraceRow]:
-        return sorted(self._by_trace_id.get(trace_id, []), key=lambda r: r.timestamp_ns)
+        cached = self._trace_rows.get(trace_id)
+        if cached is None:
+            refs = self._trace_refs.get(trace_id)
+            if not refs:
+                return []
+            rows = [self._row(table, pos) for table, pos in refs]
+            # Stable sort over insertion order: ties keep arrival order,
+            # exactly like the legacy per-call sorted(...).
+            rows.sort(key=lambda r: r.timestamp_ns)
+            self._trace_rows[trace_id] = cached = rows
+        return list(cached)
+
+    def record_count_for_trace(self, trace_id: int) -> int:
+        """How many rows a trace has, without materializing them (the
+        span layer's orphan accounting)."""
+        refs = self._trace_refs.get(trace_id)
+        return 0 if refs is None else len(refs)
 
     def trace_ids(self) -> List[int]:
         """Every indexed trace ID, in first-seen (insertion) order --
         the deterministic iteration order span reconstruction uses."""
-        return list(self._by_trace_id)
+        return list(self._trace_refs)
 
     def trace_ids_at(self, label: str) -> Dict[int, TraceRow]:
         """First row per trace ID at one tracepoint (dup-safe)."""
-        result: Dict[int, TraceRow] = {}
-        for row in self._tables.get(label, []):
-            if row.trace_id and row.trace_id not in result:
-                result[row.trace_id] = row
-        return result
+        table = self._tables.get(label)
+        if table is None:
+            return {}
+        return {
+            trace_id: self._row(table, pos)
+            for trace_id, pos in table.first_by_trace.items()
+        }
+
+    def first_ts_at(self, label: str) -> Dict[int, int]:
+        """Aligned timestamp of the first row per trace ID at one
+        tracepoint -- :meth:`trace_ids_at` without materializing rows
+        (the latency kernels only need the timestamps)."""
+        table = self._tables.get(label)
+        if table is None:
+            return {}
+        column = table.timestamp_ns
+        return {
+            trace_id: column[pos] for trace_id, pos in table.first_by_trace.items()
+        }
 
     def time_range(
         self, label: str, start_ns: Optional[int] = None, end_ns: Optional[int] = None
     ) -> List[TraceRow]:
-        rows = self._tables.get(label, [])
+        table = self._tables.get(label)
+        if table is None:
+            return []
+        if start_ns is None and end_ns is None:
+            return self._materialize(table)
         return [
-            row
-            for row in rows
-            if (start_ns is None or row.timestamp_ns >= start_ns)
-            and (end_ns is None or row.timestamp_ns <= end_ns)
+            self._row(table, pos)
+            for pos, ts in enumerate(table.timestamp_ns)
+            if (start_ns is None or ts >= start_ns) and (end_ns is None or ts <= end_ns)
         ]
 
     def count(self, label: str) -> int:
-        return len(self._tables.get(label, []))
+        table = self._tables.get(label)
+        return 0 if table is None else len(table)
 
     # -- data cleaning (§III-C) --------------------------------------------------------
 
@@ -134,22 +425,35 @@ class TraceDB:
         """Trace IDs that missed at least one of the given tracepoints
         (e.g. dropped packets or ring-buffer overruns)."""
         required = list(required_labels)
-        incomplete = []
-        for trace_id, rows in self._by_trace_id.items():
-            seen = {row.label for row in rows}
-            if any(label not in seen for label in required):
-                incomplete.append(trace_id)
-        return incomplete
+        return [
+            trace_id
+            for trace_id, seen in self._trace_labels.items()
+            if any(label not in seen for label in required)
+        ]
 
     def complete_traces(self, required_labels: Iterable[str]) -> List[int]:
         required = list(required_labels)
-        complete = []
-        for trace_id, rows in self._by_trace_id.items():
-            seen = {row.label for row in rows}
-            if all(label in seen for label in required):
-                complete.append(trace_id)
-        return complete
+        return [
+            trace_id
+            for trace_id, seen in self._trace_labels.items()
+            if all(label in seen for label in required)
+        ]
+
+    # -- self-observability ------------------------------------------------------
+
+    def bytes_stored(self) -> int:
+        """Bytes held in column storage across every table."""
+        return sum(table.bytes_stored() for table in self._tables.values())
+
+    def _bytes_stored_sample(self) -> float:
+        return float(self.bytes_stored())
+
+    def _index_rebuilds_sample(self) -> float:
+        return float(self.index_rebuilds)
+
+    def _bulk_batches_sample(self) -> float:
+        return float(self.bulk_batches)
 
     def __repr__(self) -> str:
-        sizes = {label: len(rows) for label, rows in self._tables.items()}
+        sizes = {label: len(table) for label, table in self._tables.items()}
         return f"<TraceDB {self.table_prefix!r} tables={sizes}>"

@@ -76,7 +76,7 @@ class VNetTracer:
     ):
         self.engine = engine
         self.obs = registry if registry is not None else MetricsRegistry()
-        self.db = TraceDB()
+        self.db = TraceDB(registry=self.obs)
         self.collector = RawDataCollector(engine, self.db, registry=self.obs)
         self.dispatcher = ControlDataDispatcher(engine, master_name, registry=self.obs)
         self.agents: Dict[str, Agent] = {}

@@ -65,7 +65,9 @@ def _run_sockperf(seed: int, traced: bool, duration_ns: int, mps: int):
     engine.run(until=duration_ns + WARMUP_NS + 50_000_000)
     records = 0
     if tracer is not None:
-        records = tracer.collect()
+        # CollectReport quacks like the old int count, but the bench
+        # layer serializes this value to JSON -- keep it a real int.
+        records = int(tracer.collect())
     return client, records
 
 

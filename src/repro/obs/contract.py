@@ -12,7 +12,8 @@ in-kernel record buffer), ``agent`` (the per-node daemon), ``collector``
 observability layer itself), ``tracing`` (span-tree reconstruction,
 see ``docs/TIMELINES.md``), ``faults`` (control/data-plane delivery
 attempts, retries, and injected-fault accounting, see
-``docs/FAULTS.md``).
+``docs/FAULTS.md``), ``tracedb`` (the columnar trace store's column
+bytes, lazy-index rebuilds, and bulk blob ingests).
 """
 
 from __future__ import annotations
@@ -29,6 +30,7 @@ STAGE_EBPF = "ebpf"
 STAGE_SAMPLER = "sampler"
 STAGE_TRACING = "tracing"
 STAGE_FAULTS = "faults"
+STAGE_TRACEDB = "tracedb"
 
 # Fixed bucket bounds (upper edges; +Inf is implicit).  Batch sizes are
 # records per flush; latencies are nanoseconds of virtual time.
@@ -243,6 +245,25 @@ FAULT_SHIPMENT_DEDUPED = MetricSpec(
     "(same node + sequence number seen before).",
     "batches", STAGE_FAULTS, ("node",))
 
+# -- trace database (core/tracedb.py) -----------------------------------------
+
+TRACEDB_BYTES = MetricSpec(
+    "vnt_tracedb_bytes_stored", "gauge",
+    "Bytes held in the trace database's column storage across every "
+    "tracepoint table.",
+    "bytes", STAGE_TRACEDB)
+TRACEDB_INDEX_REBUILDS = MetricSpec(
+    "vnt_tracedb_index_rebuilds", "gauge",
+    "Lazy sorted-index (re)builds performed by the trace database: an "
+    "insert into a table invalidates its timestamp index, the next "
+    "query that needs it pays one rebuild.",
+    "rebuilds", STAGE_TRACEDB)
+TRACEDB_BULK_BATCHES = MetricSpec(
+    "vnt_tracedb_bulk_batches", "gauge",
+    "Packed shipment blobs bulk-ingested straight into the columns "
+    "(insert_packed calls; the batch-first hot path).",
+    "batches", STAGE_TRACEDB)
+
 ALL_METRICS: Tuple[MetricSpec, ...] = (
     RING_APPENDED, RING_DROPPED, RING_FLUSHES, RING_FLUSH_BATCH, RING_OCCUPANCY_HWM,
     AGENT_PROBE_FIRES, AGENT_FLUSH_LATENCY, AGENT_BATCHES_SENT,
@@ -258,9 +279,10 @@ ALL_METRICS: Tuple[MetricSpec, ...] = (
     FAULT_CONTROL_INJECTED, FAULT_SHIPMENT_INJECTED,
     FAULT_AGENT_CRASHES, FAULT_AGENT_RESTARTS,
     FAULT_RECORDS_LOST, FAULT_RING_PRESSURE, FAULT_SHIPMENT_DEDUPED,
+    TRACEDB_BYTES, TRACEDB_INDEX_REBUILDS, TRACEDB_BULK_BATCHES,
 )
 
 ALL_STAGES: Tuple[str, ...] = (
     STAGE_RINGBUFFER, STAGE_AGENT, STAGE_COLLECTOR, STAGE_CLOCKSYNC,
-    STAGE_EBPF, STAGE_SAMPLER, STAGE_TRACING, STAGE_FAULTS,
+    STAGE_EBPF, STAGE_SAMPLER, STAGE_TRACING, STAGE_FAULTS, STAGE_TRACEDB,
 )

@@ -212,7 +212,7 @@ class SpanAssembler:
         """One packet's tree (counted like a one-tree forest)."""
         tree = build_span_tree(self.db, trace_id, chain=chain)
         if tree is None:
-            orphaned = len(self.db.rows_for_trace(trace_id))
+            orphaned = self.db.record_count_for_trace(trace_id)
             self.orphan_records += orphaned
             if self._m_orphans is not None and orphaned:
                 self._m_orphans.inc(orphaned)
@@ -239,12 +239,11 @@ class SpanAssembler:
         forest = SpanForest(control_root=control_root)
         for trace_id in trace_ids:
             if complete is not None and trace_id not in complete:
-                orphaned = len(self.db.rows_for_trace(trace_id))
-                forest.orphan_records += orphaned
+                forest.orphan_records += self.db.record_count_for_trace(trace_id)
                 continue
             tree = build_span_tree(self.db, trace_id, chain=chain)
             if tree is None:
-                forest.orphan_records += len(self.db.rows_for_trace(trace_id))
+                forest.orphan_records += self.db.record_count_for_trace(trace_id)
                 continue
             forest.trees.append(tree)
             forest.orphan_records += tree.duplicate_records

@@ -251,3 +251,31 @@ class TestCLI:
         argv = ["bench", "--bench-dir", str(bench_dir), "--only", "nope", "--out", "-"]
         assert main(argv) == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+    def test_profile_prints_cumulative_hotspots(self, bench_dir, tmp_path, capsys):
+        out = tmp_path / "report.json"
+        argv = ["bench", "--bench-dir", str(bench_dir), "--out", str(out), "--profile", "5"]
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "cumulative" in err  # sorted by cumulative time
+        assert "-- profile: top 5 functions" in err
+        assert load_report(out)["scenarios"][0]["name"] == "fake"  # report unchanged
+
+    def test_profile_flag_defaults_to_top_25(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["bench", "--profile"])
+        assert args.profile == 25
+        assert build_parser().parse_args(["bench"]).profile is None
+
+
+class TestScenarioRegressions:
+    def test_filter_selectivity_smoke_reports_nonzero_throughput(self):
+        """The stale-baseline bug: a fixed 50 ms warm-up reset landing
+        after the smoke preset's 25 ms of traffic restarted an idle
+        measurement window and reported 0.0 Mbps on every leg."""
+        (scenario,) = discover_scenarios(only=["ablation_filter_selectivity"])
+        result = run_scenario(scenario, preset="smoke")
+        assert result.metrics, "selectivity scenario returned no metrics"
+        for name, mbps in result.metrics.items():
+            assert mbps > 0, f"{name} regressed to zero throughput"
