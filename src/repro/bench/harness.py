@@ -59,12 +59,21 @@ def run_scenario(scenario: BenchScenario, preset: str = "smoke") -> ScenarioResu
     """Load and execute one scenario under ``preset``."""
     check_preset(preset)
     run = scenario.load()
-    gc.collect()  # keep collector pauses out of the timed window (best effort)
+    # Keep collector pauses out of the timed window: collect what earlier
+    # scenarios left behind, then freeze the surviving heap so full
+    # collections triggered *during* the window scan only this scenario's
+    # own allocations -- without this, a microbenchmark's number depends
+    # on how much live data the scenarios before it happened to build.
+    gc.collect()
+    gc.freeze()
     events_before = Engine.global_events_executed()
     fires_before = BPFProgram.global_runs()
-    started = time.perf_counter_ns()
-    metrics = run(preset)
-    wall_ns = time.perf_counter_ns() - started
+    try:
+        started = time.perf_counter_ns()
+        metrics = run(preset)
+        wall_ns = time.perf_counter_ns() - started
+    finally:
+        gc.unfreeze()
     events = Engine.global_events_executed() - events_before
     fires = BPFProgram.global_runs() - fires_before
     if not isinstance(metrics, dict):

@@ -12,9 +12,10 @@ bytecode programs*, not Python callbacks:
   (§II "Limitation"), DAG control flow (no back edges, as in kernels of
   the paper's era), register-initialization dataflow, stack bounds,
   known helpers, well-formed LD_IMM64 pairs.
-* :mod:`repro.ebpf.vm` -- the interpreter, with a nanosecond cost model;
-  :mod:`repro.ebpf.jit` compiles verified programs to Python closures
-  (the JIT analog) with a lower per-instruction cost.
+* :mod:`repro.ebpf.vm` -- the VM: the interpreter (the differential
+  oracle), the simulated nanosecond cost model, and shadow mode;
+  :mod:`repro.ebpf.jit` translates verified programs to native Python
+  code objects (the JIT analog), the default host execution tier.
 * :mod:`repro.ebpf.maps` -- BPF maps: hash, array, per-CPU array, and
   the perf event array used to stream records to user space.
 * :mod:`repro.ebpf.helpers` -- ``bpf_ktime_get_ns``, map ops,
@@ -29,7 +30,7 @@ from repro.ebpf.isa import Instruction
 from repro.ebpf.maps import ArrayMap, HashMap, PerCPUArrayMap, PerfEventArray
 from repro.ebpf.probes import HookRegistry, ProbeEvent, ProbeKind, ProbeSpec
 from repro.ebpf.verifier import VerifierError, verify
-from repro.ebpf.vm import BPFProgram, ExecutionEnv
+from repro.ebpf.vm import BPFProgram, ExecutionEnv, ShadowMismatch
 
 __all__ = [
     "Instruction",
@@ -38,6 +39,7 @@ __all__ = [
     "VerifierError",
     "BPFProgram",
     "ExecutionEnv",
+    "ShadowMismatch",
     "HashMap",
     "ArrayMap",
     "PerCPUArrayMap",

@@ -178,7 +178,15 @@ class Assembler:
 
     # -- jumps -----------------------------------------------------------------
 
-    def _jmp(self, op: int, target: LabelOrOffset, dst: int = 0, src: int = 0, imm: int = 0, use_reg: bool = False):
+    def _jmp(
+        self,
+        op: int,
+        target: LabelOrOffset,
+        dst: int = 0,
+        src: int = 0,
+        imm: int = 0,
+        use_reg: bool = False,
+    ):
         source = isa.BPF_X if use_reg else isa.BPF_K
         insn = Instruction(isa.BPF_JMP | source | op, dst=dst, src=src, imm=imm)
         return self._emit(insn, target)

@@ -41,8 +41,17 @@ class HelperError(RuntimeError):
 
 
 class HelperInfo(NamedTuple):
+    """One helper: UAPI name, host implementation, argc, simulated cost.
+
+    ``func`` takes the :class:`~repro.ebpf.vm.VMState` plus the helper's
+    ``argc`` argument registers (R1..Rn) as plain integers -- both
+    execution tiers pass them positionally, so helpers never read the
+    register file themselves.
+    """
+
     name: str
-    func: Callable[["VMState"], int]
+    func: Callable[..., int]
+    argc: int
     cost_ns: int
 
 
@@ -54,21 +63,23 @@ def _resolve_map(state: "VMState", reg_value: int) -> BPFMap:
     return bpf_map
 
 
-def _map_lookup_elem(state: "VMState") -> int:
-    bpf_map = _resolve_map(state, state.regs[1])
-    key = state.memory.read_bytes(state.regs[2], bpf_map.key_size)
+def _map_lookup_elem(state: "VMState", map_ptr: int, key_ptr: int) -> int:
+    bpf_map = _resolve_map(state, map_ptr)
+    key = state.read_bytes(key_ptr, bpf_map.key_size)
     value = bpf_map.lookup(key, cpu=state.env.cpu)
     if value is None:
         return 0
     # Expose the live map storage to the program; stores through the
     # returned pointer persist, matching kernel semantics.
-    return state.memory.add_dynamic_region(value, name=f"{bpf_map.name}-value")
+    return state.add_dynamic_region(value, name=f"{bpf_map.name}-value")
 
 
-def _map_update_elem(state: "VMState") -> int:
-    bpf_map = _resolve_map(state, state.regs[1])
-    key = state.memory.read_bytes(state.regs[2], bpf_map.key_size)
-    value = state.memory.read_bytes(state.regs[3], bpf_map.value_size)
+def _map_update_elem(
+    state: "VMState", map_ptr: int, key_ptr: int, value_ptr: int, flags: int
+) -> int:
+    bpf_map = _resolve_map(state, map_ptr)
+    key = state.read_bytes(key_ptr, bpf_map.key_size)
+    value = state.read_bytes(value_ptr, bpf_map.value_size)
     try:
         bpf_map.update(key, value, cpu=state.env.cpu)
     except MapError:
@@ -76,9 +87,9 @@ def _map_update_elem(state: "VMState") -> int:
     return 0
 
 
-def _map_delete_elem(state: "VMState") -> int:
-    bpf_map = _resolve_map(state, state.regs[1])
-    key = state.memory.read_bytes(state.regs[2], bpf_map.key_size)
+def _map_delete_elem(state: "VMState", map_ptr: int, key_ptr: int) -> int:
+    bpf_map = _resolve_map(state, map_ptr)
+    key = state.read_bytes(key_ptr, bpf_map.key_size)
     try:
         removed = bpf_map.delete(key, cpu=state.env.cpu)
     except MapError:
@@ -90,11 +101,10 @@ def _ktime_get_ns(state: "VMState") -> int:
     return state.env.clock() & 0xFFFFFFFFFFFFFFFF
 
 
-def _trace_printk(state: "VMState") -> int:
-    size = state.regs[2]
-    if size > 128:
-        raise HelperError(f"trace_printk format too large ({size})")
-    fmt = state.memory.read_bytes(state.regs[1], size).split(b"\x00")[0]
+def _trace_printk(state: "VMState", fmt_ptr: int, fmt_size: int) -> int:
+    if fmt_size > 128:
+        raise HelperError(f"trace_printk format too large ({fmt_size})")
+    fmt = state.read_bytes(fmt_ptr, fmt_size).split(b"\x00")[0]
     state.env.printk_sink(fmt.decode("latin-1"))
     return len(fmt)
 
@@ -107,28 +117,28 @@ def _get_smp_processor_id(state: "VMState") -> int:
     return state.env.cpu
 
 
-def _perf_event_output(state: "VMState") -> int:
-    # r1=ctx, r2=map, r3=flags (cpu selector), r4=data ptr, r5=size
-    bpf_map = _resolve_map(state, state.regs[2])
+def _perf_event_output(
+    state: "VMState", ctx_ptr: int, map_ptr: int, flags: int, data_ptr: int, size: int
+) -> int:
+    bpf_map = _resolve_map(state, map_ptr)
     if not isinstance(bpf_map, PerfEventArray):
         raise HelperError(f"perf_event_output into non-perf map {bpf_map.name!r}")
-    flags = state.regs[3] & 0xFFFFFFFF
+    flags &= 0xFFFFFFFF
     cpu = state.env.cpu if flags == BPF_F_CURRENT_CPU else flags
-    size = state.regs[5]
     if size > 4096:
         raise HelperError(f"perf_event_output record too large ({size})")
-    record = state.memory.read_bytes(state.regs[4], size)
+    record = state.read_bytes(data_ptr, size)
     bpf_map.output(cpu, record)
     return 0
 
 
 HELPERS: Dict[int, HelperInfo] = {
-    HELPER_MAP_LOOKUP_ELEM: HelperInfo("map_lookup_elem", _map_lookup_elem, 55),
-    HELPER_MAP_UPDATE_ELEM: HelperInfo("map_update_elem", _map_update_elem, 75),
-    HELPER_MAP_DELETE_ELEM: HelperInfo("map_delete_elem", _map_delete_elem, 60),
-    HELPER_KTIME_GET_NS: HelperInfo("ktime_get_ns", _ktime_get_ns, 22),
-    HELPER_TRACE_PRINTK: HelperInfo("trace_printk", _trace_printk, 1000),
-    HELPER_GET_PRANDOM_U32: HelperInfo("get_prandom_u32", _get_prandom_u32, 15),
-    HELPER_GET_SMP_PROCESSOR_ID: HelperInfo("get_smp_processor_id", _get_smp_processor_id, 8),
-    HELPER_PERF_EVENT_OUTPUT: HelperInfo("perf_event_output", _perf_event_output, 110),
+    HELPER_MAP_LOOKUP_ELEM: HelperInfo("map_lookup_elem", _map_lookup_elem, 2, 55),
+    HELPER_MAP_UPDATE_ELEM: HelperInfo("map_update_elem", _map_update_elem, 4, 75),
+    HELPER_MAP_DELETE_ELEM: HelperInfo("map_delete_elem", _map_delete_elem, 2, 60),
+    HELPER_KTIME_GET_NS: HelperInfo("ktime_get_ns", _ktime_get_ns, 0, 22),
+    HELPER_TRACE_PRINTK: HelperInfo("trace_printk", _trace_printk, 2, 1000),
+    HELPER_GET_PRANDOM_U32: HelperInfo("get_prandom_u32", _get_prandom_u32, 0, 15),
+    HELPER_GET_SMP_PROCESSOR_ID: HelperInfo("get_smp_processor_id", _get_smp_processor_id, 0, 8),
+    HELPER_PERF_EVENT_OUTPUT: HelperInfo("perf_event_output", _perf_event_output, 5, 110),
 }

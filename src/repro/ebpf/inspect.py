@@ -88,6 +88,7 @@ def dump_program(program: BPFProgram) -> str:
     header = [
         f"program {info.name!r}: {info.instructions} insns "
         f"({info.alu_ops} alu, {info.jumps} jmp, {info.loads} ld, {info.stores} st)",
+        f"tier: {program.tier} ({program.mode} cost model)",
         f"helpers: {info.helper_calls or 'none'}   maps: {info.map_fds or 'none'}",
         f"worst-case cost: {info.max_cost_ns_interp} ns interp / "
         f"{info.max_cost_ns_jit} ns jit",

@@ -64,6 +64,30 @@ class BPFMap:
     def delete(self, key: bytes, cpu: int = 0) -> bool:
         raise NotImplementedError
 
+    # Shadow-mode support: deep copies and comparable state snapshots.
+
+    def _clone_shell(self) -> "BPFMap":
+        """A same-type instance sharing fd/shape but no storage.
+
+        ``object.__new__`` keeps the fd counter untouched -- clones are
+        shadow-execution scratch, not new kernel objects.
+        """
+        other = object.__new__(type(self))
+        other.key_size = self.key_size
+        other.value_size = self.value_size
+        other.max_entries = self.max_entries
+        other.name = self.name
+        other.fd = self.fd
+        return other
+
+    def clone(self) -> "BPFMap":
+        """Deep copy for the differential oracle to mutate."""
+        raise NotImplementedError
+
+    def state_snapshot(self):
+        """Immutable view of the map contents for equality comparison."""
+        raise NotImplementedError
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r} fd={self.fd}>"
 
@@ -101,6 +125,14 @@ class HashMap(BPFMap):
     def __len__(self) -> int:
         return len(self._entries)
 
+    def clone(self) -> "HashMap":
+        other = self._clone_shell()
+        other._entries = {k: bytearray(v) for k, v in self._entries.items()}
+        return other
+
+    def state_snapshot(self) -> Dict[bytes, bytes]:
+        return {k: bytes(v) for k, v in self._entries.items()}
+
 
 class ArrayMap(BPFMap):
     """BPF_MAP_TYPE_ARRAY: u32 index keys, preallocated zeroed values."""
@@ -132,6 +164,14 @@ class ArrayMap(BPFMap):
 
     def value_at(self, index: int) -> bytes:
         return bytes(self._slots[index])
+
+    def clone(self) -> "ArrayMap":
+        other = self._clone_shell()
+        other._slots = [bytearray(slot) for slot in self._slots]
+        return other
+
+    def state_snapshot(self) -> List[bytes]:
+        return [bytes(slot) for slot in self._slots]
 
 
 class PerCPUArrayMap(BPFMap):
@@ -172,6 +212,15 @@ class PerCPUArrayMap(BPFMap):
             int.from_bytes(slot[:8], "little") for slot in self._slots[index]
         )
 
+    def clone(self) -> "PerCPUArrayMap":
+        other = self._clone_shell()
+        other.num_cpus = self.num_cpus
+        other._slots = [[bytearray(slot) for slot in row] for row in self._slots]
+        return other
+
+    def state_snapshot(self) -> List[List[bytes]]:
+        return [[bytes(slot) for slot in row] for row in self._slots]
+
 
 class PerfEventArray(BPFMap):
     """BPF_MAP_TYPE_PERF_EVENT_ARRAY: the record stream to user space.
@@ -201,6 +250,44 @@ class PerfEventArray(BPFMap):
             self._consumer(cpu, record)
         else:
             self.pending.append((cpu, bytes(record)))
+
+    def tee(self, capture: Callable[[int, bytes], None]) -> Callable[[], None]:
+        """Observe every output without disturbing delivery.
+
+        Wraps the current consumer (or the :attr:`pending` fallback) so
+        ``capture(cpu, record)`` also sees each record; returns an undo
+        callable restoring the previous consumer.  Shadow mode uses this
+        to compare the compiled tier's perf stream against the oracle's.
+        """
+        previous = self._consumer
+
+        def wrapped(cpu: int, record: bytes) -> None:
+            capture(cpu, record)
+            if previous is not None:
+                previous(cpu, record)
+            else:
+                self.pending.append((cpu, bytes(record)))
+
+        self._consumer = wrapped
+
+        def undo() -> None:
+            self._consumer = previous
+
+        return undo
+
+    def clone(self) -> "PerfEventArray":
+        # The oracle gets a fresh, unconsumed stream: shadow comparison
+        # wants the records it emits, not the live agent's ring buffer.
+        other = self._clone_shell()
+        other.num_cpus = self.num_cpus
+        other.pending = []
+        other._consumer = None
+        other.events_emitted = 0
+        other.events_lost = 0
+        return other
+
+    def state_snapshot(self) -> None:
+        return None  # stream, not state; compared via tee()/pending
 
     def lookup(self, key: bytes, cpu: int = 0) -> Optional[bytearray]:
         return None  # perf arrays are not data maps

@@ -14,7 +14,7 @@ Loads and stores outside a registered region raise
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 STACK_REGION_BASE = 0x1_0000_0000
 CTX_REGION_BASE = 0x2_0000_0000
@@ -35,8 +35,12 @@ class Memory:
 
     __slots__ = ("_regions", "_next_dynamic_base")
 
-    def __init__(self) -> None:
-        self._regions: List[Tuple[int, bytearray, str]] = []
+    def __init__(self, regions: Optional[List[Tuple[int, bytearray, str]]] = None) -> None:
+        """``regions`` pre-installs ``(base, buffer, name)`` triples with
+        no overlap scan -- the per-run fast path for the fixed stack /
+        ctx / packet bases, which are disjoint by construction.  Later
+        :meth:`add_region` calls still check against them."""
+        self._regions: List[Tuple[int, bytearray, str]] = regions if regions is not None else []
         self._next_dynamic_base = MAP_VALUE_REGION_BASE
 
     def add_region(self, base: int, buffer: bytearray, name: str = "") -> int:
@@ -75,7 +79,8 @@ class Memory:
     def read_bytes(self, address: int, size: int) -> bytes:
         """Bulk read (used by helpers such as perf_event_output)."""
         buffer, offset = self._locate(address, size)
-        return bytes(buffer[offset : offset + size])
+        # memoryview avoids the intermediate bytearray a slice would copy.
+        return bytes(memoryview(buffer)[offset : offset + size])
 
     def write_bytes(self, address: int, data: bytes) -> None:
         """Bulk write (used by helpers that fill caller buffers)."""

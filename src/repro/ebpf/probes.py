@@ -114,7 +114,9 @@ class EBPFAttachment(Attachment):
     ``clock`` should be the owning node's CLOCK_MONOTONIC reader;
     ``hook_id`` is baked into the context so records identify their
     tracepoint; ``use_inner`` asks the context builder to strip
-    encapsulation before parsing the five-tuple.
+    encapsulation before parsing the five-tuple; ``shadow`` turns on the
+    program's differential-oracle mode so every firing is checked
+    against the interpreter.
     """
 
     def __init__(
@@ -124,9 +126,12 @@ class EBPFAttachment(Attachment):
         hook_id: int = 0,
         use_inner: bool = False,
         name: str = "",
+        shadow: bool = False,
     ):
         super().__init__(name or program.name)
         self.program = program
+        if shadow:
+            program.shadow = True
         self.env = env
         self.hook_id = hook_id
         self.use_inner = use_inner

@@ -24,23 +24,14 @@ verifier of the paper-era kernels at the level our programs exercise):
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, NamedTuple, Sequence, Tuple
 
 from repro.ebpf import isa
 from repro.ebpf.helpers import HELPERS
 from repro.ebpf.isa import Instruction
 
 # Registers a helper call consumes, per helper id (R1..Rn must be init).
-HELPER_ARG_COUNTS = {
-    1: 2,  # map_lookup_elem(map, key)
-    2: 4,  # map_update_elem(map, key, value, flags)
-    3: 2,  # map_delete_elem(map, key)
-    5: 0,  # ktime_get_ns()
-    6: 2,  # trace_printk(fmt, fmt_size)
-    7: 0,  # get_prandom_u32()
-    8: 0,  # get_smp_processor_id()
-    25: 5,  # perf_event_output(ctx, map, flags, data, size)
-}
+HELPER_ARG_COUNTS = {helper_id: info.argc for helper_id, info in HELPERS.items()}
 
 _CALLER_SAVED = (isa.R1, isa.R2, isa.R3, isa.R4, isa.R5)
 
@@ -52,6 +43,24 @@ class VerifierError(ValueError):
     """The program was rejected; the message pinpoints the instruction."""
 
 
+class VerifierAnalysis(NamedTuple):
+    """Facts proven during verification, reused by the JIT tier.
+
+    :func:`verify` returns this so :func:`repro.ebpf.jit.compile_program`
+    does not re-derive program structure it already validated: jump
+    targets seed the basic-block leaders, LD_IMM64 second slots are
+    skipped during translation, map-load positions drive per-load map
+    pointer binding, and helper sites pre-resolve host helper functions.
+    Existing callers that only want the pass/fail answer can ignore it.
+    """
+
+    insn_count: int
+    jump_targets: Tuple[int, ...]
+    ld64_second_slots: Tuple[int, ...]
+    map_load_positions: Tuple[int, ...]
+    helper_sites: Tuple[Tuple[int, int], ...]  # (insn index, helper id)
+
+
 def _bit(reg: int) -> int:
     return 1 << reg
 
@@ -60,18 +69,20 @@ _ENTRY_STATE = _bit(isa.R1) | _bit(isa.R10)
 _ALL_REGS = (1 << isa.NUM_REGS) - 1
 
 
-def verify(program: Sequence[Instruction]) -> None:
-    """Raise :class:`VerifierError` unless ``program`` is acceptable."""
+def verify(program: Sequence[Instruction]) -> VerifierAnalysis:
+    """Raise :class:`VerifierError` unless ``program`` is acceptable.
+
+    Returns a :class:`VerifierAnalysis` of the accepted program.
+    """
     insns = list(program)
     if not insns:
         raise VerifierError("empty program")
     if len(insns) > isa.MAX_INSNS:
-        raise VerifierError(
-            f"program too large: {len(insns)} > {isa.MAX_INSNS} instructions"
-        )
+        raise VerifierError(f"program too large: {len(insns)} > {isa.MAX_INSNS} instructions")
 
     ld64_first_slots = set()
     ld64_second_slots = set()
+    map_load_positions = []
     index = 0
     while index < len(insns):
         insn = insns[index]
@@ -85,6 +96,8 @@ def verify(program: Sequence[Instruction]) -> None:
             second = insns[index + 1]
             if second.opcode != 0 or second.dst != 0 or second.src != 0 or second.offset != 0:
                 raise VerifierError(f"insn {index}: malformed LD_IMM64 second slot")
+            if insn.src == isa.BPF_PSEUDO_MAP_FD:
+                map_load_positions.append(index)
             ld64_first_slots.add(index)
             ld64_second_slots.add(index + 1)
             index += 2
@@ -101,6 +114,8 @@ def verify(program: Sequence[Instruction]) -> None:
     # Forward-only jumps make program order a topological order, so a
     # single in-order pass computes the meet-over-paths solution.
     states: Dict[int, int] = {0: _ENTRY_STATE}
+    jump_targets = set()
+    helper_sites = []
     if 0 in ld64_second_slots:
         raise VerifierError("program starts inside an LD_IMM64 pair")
 
@@ -156,19 +171,30 @@ def verify(program: Sequence[Instruction]) -> None:
                 for reg in _CALLER_SAVED:
                     state &= ~_bit(reg)
                 state |= _bit(isa.R0)
+                helper_sites.append((i, insn.imm))
                 propagate(i + 1, state, i)
                 continue
             if op == isa.BPF_JA:
+                jump_targets.add(i + 1 + insn.offset)
                 propagate(i + 1 + insn.offset, state, i)
                 continue
             _require_init(state, insn.dst, i, "dst")
             if not insn.uses_imm:
                 _require_init(state, insn.src, i, "src")
+            jump_targets.add(i + 1 + insn.offset)
             propagate(i + 1 + insn.offset, state, i)  # taken
             propagate(i + 1, state, i)  # fallthrough
 
         else:
             raise VerifierError(f"insn {i}: unknown class {cls}")
+
+    return VerifierAnalysis(
+        insn_count=len(insns),
+        jump_targets=tuple(sorted(jump_targets)),
+        ld64_second_slots=tuple(sorted(ld64_second_slots)),
+        map_load_positions=tuple(map_load_positions),
+        helper_sites=tuple(helper_sites),
+    )
 
 
 def _check_structural(insns: List[Instruction], i: int, insn: Instruction) -> None:

@@ -1,4 +1,4 @@
-"""The in-kernel eBPF virtual machine: interpreter + cost model.
+"""The in-kernel eBPF virtual machine: interpreter, JIT tier, cost model.
 
 Programs are verified at load time, then executed per probe firing.
 Execution is *semantically real* (registers, memory, maps, helpers) and
@@ -7,18 +7,37 @@ nanoseconds, which is the quantity the paper's overhead experiments
 measure.  The JIT (:mod:`repro.ebpf.jit`) runs the same semantics at a
 lower per-instruction charge, mirroring "the JIT compiling minimizes the
 execution overhead of the eBPF code" (§II).
+
+Two host-side execution tiers implement those semantics:
+
+* the **compiled tier** (default): at load time the verified bytecode is
+  translated to straight-line Python source and ``compile()``-d into one
+  code object (:func:`repro.ebpf.jit.compile_program`); a run is a
+  single call into it;
+* the **interpreter** (``precompile=False``): the fetch/decode loop in
+  :meth:`BPFProgram._execute`.  It is the differential oracle -- shadow
+  mode (``shadow=True``) replays every compiled run on it against
+  cloned maps and recorded helper inputs and raises
+  :class:`ShadowMismatch` unless registers, memory, maps, and perf
+  output agree exactly.
+
+Which tier dispatches a run is independent of the *simulated* cost
+model: ``jit=True/False`` selects the per-instruction charge only, so
+every externally visible number is byte-identical across tiers.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.ebpf import isa
 from repro.ebpf.helpers import HELPERS, MAP_PTR_BASE, HelperError
 from repro.ebpf.isa import Instruction
-from repro.ebpf.maps import BPFMap
+from repro.ebpf.jit import CompiledProgram, compile_program
+from repro.ebpf.maps import BPFMap, PerfEventArray
 from repro.ebpf.memory import (
     CTX_REGION_BASE,
+    MAP_VALUE_REGION_BASE,
     Memory,
     PACKET_REGION_BASE,
     STACK_REGION_BASE,
@@ -40,20 +59,25 @@ class ExecutionError(RuntimeError):
     """Runtime fault (bad memory access, helper misuse, runaway program)."""
 
 
+class ShadowMismatch(ExecutionError):
+    """The compiled tier and the interpreter oracle diverged on one run."""
+
+
 # -- verified+compiled program cache ------------------------------------------
 #
 # Agents re-verify and re-compile identical bytecode on every redeploy
 # (teardown/install is the paper's runtime-reconfiguration path).  The
 # *simulated* load cost is charged every time -- the modeled kernel has
-# no such cache -- but the host-side verify() + compile_steps() work is
-# memoized.  The key is the instruction tuple with map-reference
+# no such cache -- but the host-side verify() + compile_program() work
+# is memoized.  The key is the instruction tuple with map-reference
 # immediates normalized to zero: every install creates fresh maps with
 # fresh fds, so the raw bytecode of an unchanged script still differs in
-# exactly those LD_IMM64 slots.  On a hit, only the map-load steps are
-# rebuilt against the real fds; everything else is shared.  Only
-# programs that passed verification enter the cache.
+# exactly those LD_IMM64 slots.  The cached translation takes the real
+# map pointers through its factory, so a hit shares the code object and
+# only rebinds fds.  Only programs that passed verification enter the
+# cache.
 
-_COMPILED_CACHE: Dict[tuple, tuple] = {}  # key -> (steps, map_load_positions)
+_COMPILED_CACHE: Dict[tuple, CompiledProgram] = {}
 _CACHE_MAX_PROGRAMS = 256
 _cache_hits = 0
 _cache_misses = 0
@@ -81,7 +105,7 @@ def _cache_key(insns: Sequence[Instruction]) -> tuple:
 
     Map-reference LD_IMM64 immediates are zeroed in the key -- the fd is
     the only thing that changes between redeploys of the same script.
-    The positions let a cache hit patch just those slots back in.
+    The positions let a cache hit bind just those slots to the real fds.
     """
     parts = []
     positions = []
@@ -136,34 +160,43 @@ def _default_prandom() -> Callable[[], int]:
     return draw
 
 
-class VMState:
-    """Mutable execution state handed to helpers."""
+class VMState(Memory):
+    """Mutable execution state handed to helpers.
 
-    __slots__ = ("regs", "memory", "env", "helper_calls", "helper_cost_ns")
+    A ``VMState`` *is* the run's :class:`Memory` -- one object serves as
+    both the region registry and the helper-visible state, keeping
+    per-run setup to a single allocation.  ``regs`` starts unallocated:
+    the compiled tier materializes the final register file in one
+    writeback at EXIT, and the interpreter builds its zeroed file when
+    it starts.
+    """
 
-    def __init__(self, memory: Memory, env: ExecutionEnv):
-        self.regs: List[int] = [0] * isa.NUM_REGS
-        self.memory = memory
+    __slots__ = ("regs", "env", "helper_calls", "helper_cost_ns")
+
+    def __init__(self, regions: List[Tuple[int, bytearray, str]], env: ExecutionEnv):
+        self._regions = regions
+        self._next_dynamic_base = MAP_VALUE_REGION_BASE
+        self.regs: Optional[List[int]] = None
         self.env = env
         self.helper_calls: Dict[str, int] = {}
         self.helper_cost_ns = 0
 
+    @property
+    def memory(self) -> Memory:
+        return self
 
-class ExecResult:
+
+class ExecResult(NamedTuple):
     """Outcome of one program invocation."""
 
-    __slots__ = ("r0", "cost_ns", "insns_executed", "helper_calls")
-
-    def __init__(self, r0: int, cost_ns: int, insns_executed: int, helper_calls: Dict[str, int]):
-        self.r0 = r0
-        self.cost_ns = cost_ns
-        self.insns_executed = insns_executed
-        self.helper_calls = helper_calls
+    r0: int
+    cost_ns: int
+    insns_executed: int
+    helper_calls: Dict[str, int]
+    regs: Optional[List[int]] = None
 
     def __repr__(self) -> str:
-        return (
-            f"<ExecResult r0={self.r0} cost={self.cost_ns}ns insns={self.insns_executed}>"
-        )
+        return f"<ExecResult r0={self.r0} cost={self.cost_ns}ns insns={self.insns_executed}>"
 
 
 def _to_signed64(value: int) -> int:
@@ -172,9 +205,20 @@ def _to_signed64(value: int) -> int:
 
 def _bswap(value: int, width_bits: int) -> int:
     nbytes = width_bits // 8
-    return int.from_bytes(
-        (value & ((1 << width_bits) - 1)).to_bytes(nbytes, "little"), "big"
-    )
+    return int.from_bytes((value & ((1 << width_bits) - 1)).to_bytes(nbytes, "little"), "big")
+
+
+def _replay(values: List[int], what: str) -> Callable[[], int]:
+    """Feed the oracle the exact helper inputs the compiled run saw."""
+    iterator = iter(values)
+
+    def draw() -> int:
+        try:
+            return next(iterator)
+        except StopIteration:
+            raise ShadowMismatch(f"oracle drew more {what} values than the compiled tier") from None
+
+    return draw
 
 
 class BPFProgram:
@@ -191,12 +235,19 @@ class BPFProgram:
     jit:
         Whether executions are charged at JIT or interpreter rates.
     precompile:
-        Host-side dispatch strategy.  By default every program is
-        pre-decoded into specialized closures at load time (O(1)
-        dispatch, shared with the program cache) regardless of ``jit``
-        -- only the simulated per-instruction rate differs.  Pass
-        ``False`` to run the genuine interpreter loop instead (the
-        differential tests exercise both).
+        Host-side execution tier.  By default every program is
+        translated into a single native Python code object at load time
+        (shared with the program cache) regardless of ``jit`` -- only
+        the simulated per-instruction rate differs.  Pass ``False`` to
+        run the genuine interpreter loop instead (the differential
+        tests exercise both).
+    shadow:
+        Differential-oracle mode: every compiled-tier run is replayed
+        on the interpreter against cloned maps and recorded clock /
+        prandom draws, and :class:`ShadowMismatch` is raised unless
+        registers, executed-instruction counts, helper activity, stack
+        / context / packet memory, final map state, perf-event output,
+        and trace_printk lines all match exactly.
     """
 
     # Process-wide total of program executions (probe fires) across all
@@ -215,23 +266,27 @@ class BPFProgram:
         name: str = "bpf-prog",
         jit: bool = True,
         precompile: bool = True,
+        shadow: bool = False,
     ):
         self.insns = list(insns)
         self.maps = dict(maps or {})
         self.name = name
         self.jit = jit
         self.precompile = precompile
+        self.shadow = shadow
         self.loaded = False
         self.run_count = 0
         self.total_cost_ns = 0
         # Self-observability accumulators (exported via repro.obs):
-        # instructions fetched, per-helper invocation totals, and the
-        # dispatch split between the compiled-closure and interpreter paths.
+        # instructions fetched, per-helper invocation totals, the
+        # dispatch split between cost modes, and the compile activity
+        # behind the vnt_ebpf_compile_* counters.
         self.total_insns_executed = 0
-        self.helper_call_totals: Dict[str, int] = {}
-        self.jit_runs = 0
-        self.interp_runs = 0
-        self._steps = None  # populated by load() unless precompile is off
+        self._helper_totals: Dict[str, int] = {}
+        self._unmerged_helper_calls: List[Dict[str, int]] = []
+        self.compile_translations = 0
+        self.compile_cache_hits = 0
+        self._native = None  # populated by load() unless precompile is off
 
     # -- load-time -----------------------------------------------------------
 
@@ -240,42 +295,35 @@ class BPFProgram:
 
         The *simulated* cost always includes verification and, with
         ``jit`` on, the JIT compile -- the modeled kernel does that work
-        on every ``bpf()`` syscall.  The *host-side* verify +
-        closure-precompile is memoized in the program cache, keyed on
-        the exact bytecode, so agent redeploys of an unchanged script
-        skip it entirely.
+        on every ``bpf()`` syscall.  The *host-side* verify + native
+        translation is memoized in the program cache, keyed on the
+        exact bytecode, so agent redeploys of an unchanged script only
+        rebind map fds through the cached factory.
         """
         global _cache_hits, _cache_misses
         cost = VERIFY_NS_PER_INSN * len(self.insns)
         if self.jit:
             cost += JIT_COMPILE_NS_PER_INSN * len(self.insns)
         if self.precompile:
-            key, map_positions = _cache_key(self.insns)
-            cached = _COMPILED_CACHE.get(key)
-            if cached is None:
+            key, _positions = _cache_key(self.insns)
+            unit = _COMPILED_CACHE.get(key)
+            if unit is None:
                 _cache_misses += 1
-                verify(self.insns)
-                from repro.ebpf.jit import compile_steps
-
-                steps = compile_steps(self.insns)
+                self.compile_translations += 1
+                analysis = verify(self.insns)
+                unit = compile_program(self.insns, analysis)
                 if len(_COMPILED_CACHE) >= _CACHE_MAX_PROGRAMS:
                     del _COMPILED_CACHE[next(iter(_COMPILED_CACHE))]
-                _COMPILED_CACHE[key] = (steps, map_positions)
-                self._steps = steps
+                _COMPILED_CACHE[key] = unit
             else:
                 _cache_hits += 1
-                from repro.ebpf.jit import compile_map_load
-
-                steps, positions = cached
-                if positions:
-                    steps = list(steps)
-                    for index in positions:
-                        steps[index] = compile_map_load(
-                            self.insns[index], self.insns[index + 1], index
-                        )
-                self._steps = steps
+                self.compile_cache_hits += 1
+            self._native = unit.factory(
+                {pos: MAP_PTR_BASE + self.insns[pos].imm for pos in unit.map_positions}
+            )
         else:
             verify(self.insns)
+            self._native = None
         self.loaded = True
         return int(cost)
 
@@ -286,16 +334,14 @@ class BPFProgram:
     @property
     def mode(self) -> str:
         """Cost mode executions are charged at -- the obs layer's
-        jit-vs-interpreter split.  (Dispatch is via pre-decoded closures
-        in both modes unless ``precompile=False``.)"""
+        jit-vs-interpreter split.  (Host-side dispatch is the compiled
+        tier in both modes unless ``precompile=False``.)"""
         return "jit" if self.jit else "interpreter"
 
-    def _account(self, executed: int, helper_calls: Dict[str, int]) -> None:
-        self.total_insns_executed += executed
-        for helper, count in helper_calls.items():
-            self.helper_call_totals[helper] = (
-                self.helper_call_totals.get(helper, 0) + count
-            )
+    @property
+    def tier(self) -> str:
+        """Host-side execution tier: ``compiled`` or ``interpreter``."""
+        return "compiled" if self.precompile else "interpreter"
 
     # -- run-time --------------------------------------------------------------
 
@@ -308,35 +354,116 @@ class BPFProgram:
         """Execute once.  ``ctx_bytes`` is mapped at the context base and
         handed to the program in R1; ``packet_bytes`` (if any) is mapped
         where the context's data/data_end pointers expect it."""
-        if not self.loaded:
-            raise ExecutionError(f"program {self.name!r} was not loaded")
-
-        memory = Memory()
-        stack = bytearray(isa.STACK_SIZE)
-        memory.add_region(STACK_REGION_BASE, stack, "stack")
-        memory.add_region(CTX_REGION_BASE, ctx_bytes, "ctx")
+        native = self._native
+        if native is None or self.shadow:
+            if not self.loaded:
+                raise ExecutionError(f"program {self.name!r} was not loaded")
+            if self.shadow and native is not None:
+                return self._run_shadowed(env, ctx_bytes, packet_bytes)
+            state, executed, _stack = self._run_once(env, ctx_bytes, packet_bytes)
+            return self._finish(state, executed)
+        # Hot path: the compiled tier, inlined (probes take this per packet).
+        stack = bytearray(512)
+        regions = [(STACK_REGION_BASE, stack, "stack"), (CTX_REGION_BASE, ctx_bytes, "ctx")]
         if packet_bytes is not None:
-            memory.add_region(PACKET_REGION_BASE, packet_bytes, "packet")
-
-        state = VMState(memory, env)
-        regs = state.regs
-        regs[isa.R1] = CTX_REGION_BASE
-        regs[isa.R10] = STACK_REGION_BASE + isa.STACK_SIZE
-
-        limit = len(self.insns)  # DAG: every insn runs at most once
-
-        if self._steps is not None:
-            return self._run_compiled(state, regs, limit)
-
-        cost_ns = 0.0
+            regions.append((PACKET_REGION_BASE, packet_bytes, "packet"))
+        state = VMState(regions, env)
+        try:
+            executed = native(state, stack, ctx_bytes, packet_bytes)
+        except HelperError as exc:
+            raise ExecutionError(f"{self.name}: helper error: {exc}")
+        # _finish, inlined.
+        helper_calls = state.helper_calls
         per_insn = JIT_NS_PER_INSN if self.jit else INTERPRETER_NS_PER_INSN
+        total = int(round(executed * per_insn + state.helper_cost_ns))
+        self.run_count += 1
+        BPFProgram._runs_global += 1
+        self.total_insns_executed += executed
+        if helper_calls:
+            self._unmerged_helper_calls.append(helper_calls)
+        self.total_cost_ns += total
+        return ExecResult(state.regs[0], total, executed, helper_calls, state.regs)
+
+    def _run_once(
+        self,
+        env: ExecutionEnv,
+        ctx_bytes: bytearray,
+        packet_bytes: Optional[bytearray],
+        native: Optional[bool] = None,
+    ) -> Tuple[VMState, int, bytearray]:
+        """One execution on the chosen tier, without accounting."""
+        stack = bytearray(isa.STACK_SIZE)
+        regions = [(STACK_REGION_BASE, stack, "stack"), (CTX_REGION_BASE, ctx_bytes, "ctx")]
+        if packet_bytes is not None:
+            regions.append((PACKET_REGION_BASE, packet_bytes, "packet"))
+        state = VMState(regions, env)
+        if native is None:
+            native = self._native is not None
+        if native:
+            try:
+                executed = self._native(state, stack, ctx_bytes, packet_bytes)
+            except HelperError as exc:
+                raise ExecutionError(f"{self.name}: helper error: {exc}")
+        else:
+            regs = state.regs = [0] * isa.NUM_REGS
+            regs[isa.R1] = CTX_REGION_BASE
+            regs[isa.R10] = STACK_REGION_BASE + isa.STACK_SIZE
+            executed = self._execute(state)
+        return state, executed, stack
+
+    def _finish(self, state: VMState, executed: int) -> ExecResult:
+        helper_calls = state.helper_calls
+        per_insn = JIT_NS_PER_INSN if self.jit else INTERPRETER_NS_PER_INSN
+        total = int(round(executed * per_insn + state.helper_cost_ns))
+        self.run_count += 1
+        BPFProgram._runs_global += 1
+        self.total_insns_executed += executed
+        if helper_calls:
+            self._unmerged_helper_calls.append(helper_calls)
+        self.total_cost_ns += total
+        return ExecResult(state.regs[0], total, executed, helper_calls, state.regs)
+
+    @property
+    def jit_runs(self) -> int:
+        """Executions charged at the JIT rate (the mode is per-program)."""
+        return self.run_count if self.jit else 0
+
+    @property
+    def interp_runs(self) -> int:
+        """Executions charged at the interpreter rate."""
+        return 0 if self.jit else self.run_count
+
+    @property
+    def helper_call_totals(self) -> Dict[str, int]:
+        """Per-helper invocation totals across every run.
+
+        Per-run dicts are queued on the hot path and folded in here on
+        read -- the obs layer polls this far less often than probes fire.
+        """
+        unmerged = self._unmerged_helper_calls
+        if unmerged:
+            totals = self._helper_totals
+            for calls in unmerged:
+                for helper, count in calls.items():
+                    totals[helper] = totals.get(helper, 0) + count
+            unmerged.clear()
+        return self._helper_totals
+
+    # -- the interpreter (differential oracle) ---------------------------------
+
+    def _execute(self, state: VMState) -> int:
+        """The fetch/decode interpreter loop; returns instructions fetched."""
+        regs = state.regs
+        memory = state
+        insns = self.insns
+        limit = len(insns)  # DAG: every insn runs at most once
         executed = 0
         pc = 0
 
         while True:
             if executed > limit:
                 raise ExecutionError(f"{self.name}: runaway execution (pc={pc})")
-            insn = self.insns[pc]
+            insn = insns[pc]
             executed += 1
             cls = insn.insn_class
 
@@ -350,11 +477,11 @@ class BPFProgram:
                 if op == isa.BPF_CALL:
                     info = HELPERS[insn.imm]
                     try:
-                        regs[isa.R0] = info.func(state) & U64
+                        regs[isa.R0] = info.func(state, *regs[1 : 1 + info.argc]) & U64
                     except HelperError as exc:
                         raise ExecutionError(f"{self.name}: helper {info.name}: {exc}")
                     state.helper_calls[info.name] = state.helper_calls.get(info.name, 0) + 1
-                    cost_ns += info.cost_ns
+                    state.helper_cost_ns += info.cost_ns
                     pc += 1
                 elif op == isa.BPF_JA:
                     pc += 1 + insn.offset
@@ -384,45 +511,105 @@ class BPFProgram:
             else:  # pragma: no cover - verifier rejects these
                 raise ExecutionError(f"{self.name}: bad class {cls} at pc {pc}")
 
-        cost_ns += executed * per_insn
-        self.run_count += 1
-        BPFProgram._runs_global += 1
-        if self.jit:
-            self.jit_runs += 1
-        else:
-            self.interp_runs += 1
-        self._account(executed, state.helper_calls)
-        total = int(round(cost_ns))
-        self.total_cost_ns += total
-        return ExecResult(regs[isa.R0], total, executed, state.helper_calls)
+        return executed
 
-    def _run_compiled(self, state: VMState, regs: List[int], limit: int) -> ExecResult:
-        """Execute the pre-decoded closure form (both cost modes)."""
-        from repro.ebpf.jit import EXIT_PC
+    # -- shadow mode -----------------------------------------------------------
 
-        steps = self._steps
-        pc = 0
-        executed = 0
+    def _run_shadowed(
+        self,
+        env: ExecutionEnv,
+        ctx_bytes: bytearray,
+        packet_bytes: Optional[bytearray],
+    ) -> ExecResult:
+        """Run the compiled tier, then replay on the oracle and compare."""
+        ctx_before = bytes(ctx_bytes)
+        packet_before = None if packet_bytes is None else bytes(packet_bytes)
+        clones = {fd: bpf_map.clone() for fd, bpf_map in env.maps.items()}
+
+        clock_draws: List[int] = []
+        prandom_draws: List[int] = []
+        printk_lines: List[str] = []
+        base_clock, base_prandom, base_sink = env.clock, env.prandom_u32, env.printk_sink
+
+        def recording_clock() -> int:
+            value = base_clock()
+            clock_draws.append(value)
+            return value
+
+        def recording_prandom() -> int:
+            value = base_prandom()
+            prandom_draws.append(value)
+            return value
+
+        def recording_sink(message: str) -> None:
+            printk_lines.append(message)
+            base_sink(message)
+
+        recording_env = ExecutionEnv(
+            maps=env.maps,
+            clock=recording_clock,
+            cpu=env.cpu,
+            prandom_u32=recording_prandom,
+            printk_sink=recording_sink,
+        )
+        perf_seen: Dict[int, list] = {}
+        undos = []
+        for fd, bpf_map in env.maps.items():
+            if isinstance(bpf_map, PerfEventArray):
+                seen: List[Tuple[int, bytes]] = []
+                perf_seen[fd] = seen
+                undos.append(bpf_map.tee(lambda cpu, rec, _s=seen: _s.append((cpu, bytes(rec)))))
         try:
-            while pc != EXIT_PC:
-                step, slots = steps[pc]
-                executed += slots
-                if executed > limit + 1:
-                    raise ExecutionError(f"{self.name}: runaway execution (pc={pc})")
-                pc = step(regs, state)
-        except HelperError as exc:
-            raise ExecutionError(f"{self.name}: helper error: {exc}")
-        per_insn = JIT_NS_PER_INSN if self.jit else INTERPRETER_NS_PER_INSN
-        total = int(round(executed * per_insn + state.helper_cost_ns))
-        self.run_count += 1
-        BPFProgram._runs_global += 1
-        if self.jit:
-            self.jit_runs += 1
-        else:
-            self.interp_runs += 1
-        self._account(executed, state.helper_calls)
-        self.total_cost_ns += total
-        return ExecResult(regs[isa.R0], total, executed, state.helper_calls)
+            state, executed, stack = self._run_once(
+                recording_env, ctx_bytes, packet_bytes, native=True
+            )
+        finally:
+            for undo in undos:
+                undo()
+
+        oracle_printks: List[str] = []
+        oracle_env = ExecutionEnv(
+            maps=clones,
+            clock=_replay(clock_draws, "clock"),
+            cpu=env.cpu,
+            prandom_u32=_replay(prandom_draws, "prandom"),
+            printk_sink=oracle_printks.append,
+        )
+        oracle_ctx = bytearray(ctx_before)
+        oracle_packet = None if packet_before is None else bytearray(packet_before)
+        try:
+            ostate, oexecuted, ostack = self._run_once(
+                oracle_env, oracle_ctx, oracle_packet, native=False
+            )
+        except ExecutionError as exc:
+            raise ShadowMismatch(f"{self.name}: oracle faulted where compiled tier ran: {exc}")
+
+        self._diff("insns_executed", executed, oexecuted)
+        self._diff("registers", state.regs, ostate.regs)
+        self._diff("helper_calls", state.helper_calls, ostate.helper_calls)
+        self._diff("helper_cost_ns", state.helper_cost_ns, ostate.helper_cost_ns)
+        self._diff("stack", bytes(stack), bytes(ostack))
+        self._diff("ctx", bytes(ctx_bytes), bytes(oracle_ctx))
+        if packet_bytes is not None:
+            self._diff("packet", bytes(packet_bytes), bytes(oracle_packet))
+        self._diff("trace_printk", printk_lines, oracle_printks)
+        for fd, bpf_map in env.maps.items():
+            if isinstance(bpf_map, PerfEventArray):
+                self._diff(f"perf output (fd {fd})", perf_seen[fd], clones[fd].pending)
+            else:
+                self._diff(
+                    f"map state (fd {fd})",
+                    bpf_map.state_snapshot(),
+                    clones[fd].state_snapshot(),
+                )
+        return self._finish(state, executed)
+
+    def _diff(self, what: str, compiled_value, oracle_value) -> None:
+        if compiled_value != oracle_value:
+            raise ShadowMismatch(
+                f"{self.name}: shadow divergence in {what}: "
+                f"compiled={compiled_value!r} oracle={oracle_value!r}"
+            )
 
     # -- instruction semantics -------------------------------------------------
 

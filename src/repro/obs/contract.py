@@ -159,6 +159,16 @@ EBPF_PROGRAMS_LOADED = MetricSpec(
     "eBPF programs loaded by this pipeline so far (tracing scripts "
     "and clock-sync probes; survives teardown for accounting).",
     "programs", STAGE_EBPF)
+EBPF_COMPILE_PROGRAMS = MetricSpec(
+    "vnt_ebpf_compile_programs_total", "counter",
+    "Bytecode-to-native translations performed by the compiled tier "
+    "(loads that missed the verified+compiled program cache).",
+    "programs", STAGE_EBPF)
+EBPF_COMPILE_CACHE_HITS = MetricSpec(
+    "vnt_ebpf_compile_cache_hits_total", "counter",
+    "Loads served by the verified+compiled program cache without "
+    "re-translating (redeploys of unchanged scripts).",
+    "loads", STAGE_EBPF)
 
 # -- the sampler itself (obs/sampler.py) -------------------------------------
 
@@ -272,6 +282,7 @@ ALL_METRICS: Tuple[MetricSpec, ...] = (
     COLLECTOR_HEARTBEAT_STALENESS, COLLECTOR_INGEST_RATE,
     CLOCKSYNC_ROUNDS, CLOCKSYNC_SKEW, CLOCKSYNC_RESIDUAL, CLOCKSYNC_RTT_MIN,
     EBPF_RUNS, EBPF_INSNS, EBPF_HELPER_CALLS, EBPF_EXEC_NS, EBPF_PROGRAMS_LOADED,
+    EBPF_COMPILE_PROGRAMS, EBPF_COMPILE_CACHE_HITS,
     SAMPLER_SAMPLES,
     SPAN_TREES, SPAN_SPANS, SPAN_ORPHANS, SPAN_ANOMALIES,
     RETRY_DEPLOY_ATTEMPTS, RETRY_DEPLOY_RETRIES,

@@ -46,6 +46,10 @@ def register_ebpf_metrics(registry: MetricsRegistry, programs_fn: ProgramsFn) ->
         lambda: sum(p.total_cost_ns for p in programs_fn()))
     registry.register_spec(contract.EBPF_PROGRAMS_LOADED).add_callback(
         lambda: sum(1 for _ in programs_fn()))
+    registry.register_spec(contract.EBPF_COMPILE_PROGRAMS).add_callback(
+        lambda: sum(p.compile_translations for p in programs_fn()))
+    registry.register_spec(contract.EBPF_COMPILE_CACHE_HITS).add_callback(
+        lambda: sum(p.compile_cache_hits for p in programs_fn()))
 
     def helper_totals() -> Dict[Tuple[str, ...], float]:
         totals: Dict[Tuple[str, ...], float] = {}

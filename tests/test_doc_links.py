@@ -1,0 +1,46 @@
+"""Every relative link in README.md and docs/*.md must resolve.
+
+Thin wrapper over ``tools/check_doc_links.py`` (the same script the CI
+lint job runs) so a renamed doc or a typoed link fails the suite too.
+"""
+
+import importlib.util
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_doc_links", ROOT / "tools" / "check_doc_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_docs_are_scanned():
+    checker = _load_checker()
+    names = [path.name for path in checker.doc_files(ROOT)]
+    assert "README.md" in names
+    assert "EBPF.md" in names
+    assert "OBSERVABILITY.md" in names
+
+
+def test_no_broken_relative_links():
+    checker = _load_checker()
+    broken = checker.find_broken_links(ROOT)
+    assert broken == [], "\n".join(
+        f"{path}: {target} ({reason})" for path, target, reason in broken
+    )
+
+
+def test_checker_catches_a_planted_break(tmp_path):
+    checker = _load_checker()
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text("see [gone](docs/NOPE.md) and [ok](docs/OK.md)\n")
+    (tmp_path / "docs" / "OK.md").write_text("# OK\n")
+    broken = checker.find_broken_links(tmp_path)
+    assert [(target, reason) for _, target, reason in broken] == [
+        ("docs/NOPE.md", "file does not exist")
+    ]

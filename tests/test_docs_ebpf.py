@@ -1,0 +1,111 @@
+"""docs/EBPF.md is a contract: the documented ISA tables must match the code.
+
+Three structural checks (same pattern as the OBSERVABILITY.md contract
+test) plus a golden-output check for the inspector:
+
+* the helper table (id, name, argc, cost) mirrors ``helpers.HELPERS``;
+* the ALU/JMP mnemonic tables mirror ``isa.ALU_OP_NAMES`` /
+  ``isa.JMP_OP_NAMES``, opcode nibbles included;
+* the cost-model table mirrors the ``vm`` constants;
+* the ``dump_program`` example reproduces byte-for-byte.
+"""
+
+import re
+from pathlib import Path
+
+from repro.ebpf import isa, vm
+from repro.ebpf.assembler import Assembler
+from repro.ebpf.helpers import HELPERS
+from repro.ebpf.inspect import dump_program
+from repro.ebpf.isa import R0, R1, R2
+from repro.ebpf.vm import BPFProgram
+
+DOC_PATH = Path(__file__).resolve().parent.parent / "docs" / "EBPF.md"
+
+
+def _section(name: str) -> str:
+    text = DOC_PATH.read_text()
+    match = re.search(
+        rf"<!-- {name}:begin -->\n(.*?)<!-- {name}:end -->", text, re.DOTALL
+    )
+    assert match, f"docs/EBPF.md is missing the {name} marker block"
+    return match.group(1)
+
+
+def _table_rows(section: str):
+    """Yield the cell lists of every data row in a markdown table."""
+    for line in section.splitlines():
+        line = line.strip()
+        if not line.startswith("|") or set(line) <= {"|", "-", " "}:
+            continue
+        cells = [cell.strip() for cell in line.strip("|").split("|")]
+        if cells and cells[0] in ("id", "mnemonic"):
+            continue  # header row
+        yield cells
+
+
+def test_helper_table_matches_helpers():
+    documented = {}
+    for cells in _table_rows(_section("helpers")):
+        helper_id, name, argc, cost = cells[0], cells[1], cells[2], cells[3]
+        documented[int(helper_id)] = (name.strip("`"), int(argc), int(cost))
+    actual = {
+        helper_id: (info.name, info.argc, info.cost_ns)
+        for helper_id, info in HELPERS.items()
+    }
+    assert documented == actual
+
+
+def test_alu_op_table_matches_isa():
+    documented = {}
+    for cells in _table_rows(_section("alu-ops")):
+        documented[cells[0].strip("`")] = int(cells[1], 16)
+    actual = {name: op for op, name in isa.ALU_OP_NAMES.items()}
+    assert documented == actual
+
+
+def test_jmp_op_table_matches_isa():
+    documented = {}
+    for cells in _table_rows(_section("jmp-ops")):
+        documented[cells[0].strip("`")] = int(cells[1], 16)
+    actual = {name: op for op, name in isa.JMP_OP_NAMES.items()}
+    assert documented == actual
+
+
+def test_documented_limits_match_isa():
+    text = DOC_PATH.read_text()
+    assert f"`isa.STACK_SIZE` = {isa.STACK_SIZE} bytes" in text
+    assert f"1 .. {isa.MAX_INSNS} instructions" in text
+    assert f"{isa.NUM_REGS} 64-bit registers" in text
+
+
+def test_documented_cost_constants_match_vm():
+    text = DOC_PATH.read_text()
+    for name in (
+        "INTERPRETER_NS_PER_INSN",
+        "JIT_NS_PER_INSN",
+        "VERIFY_NS_PER_INSN",
+        "JIT_COMPILE_NS_PER_INSN",
+    ):
+        value = getattr(vm, name)
+        pattern = rf"`{name}`[^|]*\|\s*{re.escape(str(value))}\s*\|"
+        assert re.search(pattern, text), f"{name} = {value} not documented"
+
+
+def _golden_program() -> BPFProgram:
+    asm = Assembler()
+    asm.ldx_h(R2, R1, 26)
+    asm.jne_imm(R2, 4789, "miss")
+    asm.mov_imm(R0, 1)
+    asm.exit_()
+    asm.label("miss")
+    asm.mov_imm(R0, 0)
+    asm.exit_()
+    return BPFProgram(asm.assemble(), name="port-filter")
+
+
+def test_dump_program_golden_output():
+    fenced = _section("dump").strip()
+    assert fenced.startswith("```") and fenced.endswith("```")
+    golden = fenced[3:-3].strip("\n")
+    assert dump_program(_golden_program()) == golden

@@ -1,5 +1,6 @@
-"""Differential tests: the JIT (pre-decoded closures) must match the
-interpreter bit for bit -- results, registers via r0, costs, and counts."""
+"""Differential tests: the compiled tier must match the interpreter
+oracle bit for bit -- exit codes, registers, counts, costs, map state,
+and perf-event output."""
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -9,11 +10,21 @@ from repro.core.config import ActionSpec, FilterRule, TracepointSpec
 from repro.ebpf import isa
 from repro.ebpf.assembler import Assembler
 from repro.ebpf.context import build_skb_context
+from repro.ebpf.helpers import (
+    HELPER_GET_PRANDOM_U32,
+    HELPER_GET_SMP_PROCESSOR_ID,
+    HELPER_KTIME_GET_NS,
+    HELPER_MAP_DELETE_ELEM,
+    HELPER_MAP_LOOKUP_ELEM,
+    HELPER_MAP_UPDATE_ELEM,
+    HELPER_PERF_EVENT_OUTPUT,
+)
 from repro.ebpf.isa import R0, R1, R2, R3, R4, R5, R10
-from repro.ebpf.maps import PerCPUArrayMap, PerfEventArray
+from repro.ebpf.maps import HashMap, PerCPUArrayMap, PerfEventArray
 from repro.ebpf.vm import (
     BPFProgram,
     ExecutionEnv,
+    ShadowMismatch,
     clear_program_cache,
     program_cache_stats,
 )
@@ -115,6 +126,238 @@ class TestDifferentialALU:
         asm.exit_()
         insns = asm.assemble()
         assert _run(insns, jit=True).r0 == _run(insns, jit=False).r0 == 0xFFFFFFFF
+
+
+# -- whole-subset random programs ---------------------------------------------
+#
+# Each generated program is a sequence of verifier-safe "steps" over
+# r0-r5 plus the stack, conditional forward jumps (always to the exit
+# block, keeping the CFG a DAG by construction), and helper-call blocks
+# that re-initialize the caller-saved registers they clobber.  Both
+# tiers run it against identical deterministic environments; everything
+# observable must agree.
+
+_STEP = st.one_of(
+    st.tuples(
+        st.just("alu"),
+        st.sampled_from(ALU_OPS + ("xor_reg", "mov_reg", "add_reg", "sub_reg")),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=-(2**31), max_value=2**31 - 1),
+    ),
+    st.tuples(
+        st.just("stack"),
+        st.sampled_from(("w", "dw")),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=1, max_value=63),  # slot: fp-8*slot
+    ),
+    st.tuples(
+        st.just("branch"),
+        st.sampled_from(("jeq", "jne", "jgt", "jlt", "jle", "jset")),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=-64, max_value=64),
+    ),
+    st.tuples(
+        st.just("call"),
+        st.sampled_from(
+            ("ktime", "prandom", "smp", "lookup", "update", "delete", "perf")
+        ),
+        st.integers(min_value=0, max_value=3),  # map key selector
+        st.integers(min_value=0, max_value=0),
+    ),
+)
+
+random_steps = st.lists(_STEP, min_size=1, max_size=25)
+random_inits = st.lists(
+    st.integers(min_value=-(2**31), max_value=2**31 - 1), min_size=6, max_size=6
+)
+
+
+def _assemble_subset_program(inits, steps, hash_fd, perf_fd):
+    asm = Assembler()
+    for reg, value in enumerate(inits):
+        asm.mov_imm(reg, value)
+    for kind, what, a, b in steps:
+        if kind == "alu":
+            if what in ("lsh", "rsh"):
+                b = abs(b) % 64
+            if what in ("div", "mod") and b == 0:
+                b = 13
+            if what.endswith("_reg"):
+                getattr(asm, what)(a, (a + 1) % 6)
+            else:
+                getattr(asm, f"{what}_imm")(a, b)
+        elif kind == "stack":
+            offset = -8 * b
+            if what == "dw":
+                asm.stx_dw(R10, a, offset)
+                asm.ldx_dw(a, R10, offset)
+            else:
+                asm.stx_w(R10, a, offset)
+                asm.ldx_w(a, R10, offset)
+        elif kind == "branch":
+            getattr(asm, f"{what}_imm")(a, b, "end")
+        elif kind == "call":
+            if what == "ktime":
+                asm.call(HELPER_KTIME_GET_NS)
+            elif what == "prandom":
+                asm.call(HELPER_GET_PRANDOM_U32)
+            elif what == "smp":
+                asm.call(HELPER_GET_SMP_PROCESSOR_ID)
+            elif what in ("lookup", "update", "delete"):
+                asm.st_imm(4, R10, -8, a)  # 4-byte key in fp-8
+                asm.ld_map_fd(R1, hash_fd)
+                asm.mov_reg(R2, R10)
+                asm.add_imm(R2, -8)
+                if what == "update":
+                    asm.stx_dw(R10, R3, -16)  # 8-byte value from r3
+                    asm.mov_reg(R3, R10)
+                    asm.add_imm(R3, -16)
+                    asm.mov_imm(R4, 0)
+                    asm.call(HELPER_MAP_UPDATE_ELEM)
+                elif what == "lookup":
+                    asm.call(HELPER_MAP_LOOKUP_ELEM)
+                else:
+                    asm.call(HELPER_MAP_DELETE_ELEM)
+            else:  # perf
+                asm.stx_dw(R10, R0, -24)
+                asm.ld_map_fd(R2, perf_fd)
+                asm.mov_imm(R3, 0)  # explicit CPU 0
+                asm.mov_reg(R4, R10)
+                asm.add_imm(R4, -24)
+                asm.mov_imm(R5, 8)
+                asm.call(HELPER_PERF_EVENT_OUTPUT)
+            # Calls clobber r1-r5; restore the invariant that r0-r5
+            # are always initialized.
+            for reg in (R1, R2, R3, R4, R5):
+                asm.mov_imm(reg, reg)
+    asm.ja("end")
+    asm.label("end")
+    asm.exit_()
+    return asm.assemble()
+
+
+def _deterministic_env(maps):
+    ticks = [1_000_000]
+
+    def clock():
+        ticks[0] += 111
+        return ticks[0]
+
+    printks = []
+    env = ExecutionEnv(maps=maps, clock=clock, cpu=1, printk_sink=printks.append)
+    return env, printks
+
+
+def _run_subset(insns, precompile):
+    hash_map = HashMap(4, 8, 16)
+    perf_map = PerfEventArray(num_cpus=2)
+    insns = _rebind_map_fds(insns, hash_map.fd, perf_map.fd)
+    maps = {hash_map.fd: hash_map, perf_map.fd: perf_map}
+    program = BPFProgram(list(insns), name="subset", jit=True, precompile=precompile)
+    program.load()
+    env, printks = _deterministic_env(maps)
+    result = program.run(env, bytearray(64))
+    return result, hash_map.state_snapshot(), list(perf_map.pending), printks
+
+
+# Placeholder fds baked into generated programs, rebound per run.
+_HASH_TAG = 901
+_PERF_TAG = 902
+
+
+def _rebind_map_fds(insns, hash_fd, perf_fd):
+    """Point the program's map references at this run's fresh maps."""
+    fds = {_HASH_TAG: hash_fd, _PERF_TAG: perf_fd}
+    out = list(insns)
+    for index, insn in enumerate(out):
+        if insn.insn_class == isa.BPF_LD and insn.src == isa.BPF_PSEUDO_MAP_FD:
+            out[index] = insn._replace(imm=fds[insn.imm])
+    return out
+
+
+class TestDifferentialSubset:
+    @settings(max_examples=60, deadline=None)
+    @given(inits=random_inits, steps=random_steps)
+    def test_random_subset_programs_agree(self, inits, steps):
+        insns = _assemble_subset_program(inits, steps, _HASH_TAG, _PERF_TAG)
+        interp, i_maps, i_perf, i_printk = _run_subset(insns, precompile=False)
+        compiled, c_maps, c_perf, c_printk = _run_subset(insns, precompile=True)
+        assert compiled.r0 == interp.r0
+        assert compiled.regs == interp.regs
+        assert compiled.insns_executed == interp.insns_executed
+        assert compiled.cost_ns == interp.cost_ns
+        assert compiled.helper_calls == interp.helper_calls
+        assert c_maps == i_maps
+        assert c_perf == i_perf
+        assert c_printk == i_printk
+
+
+class TestShadowMode:
+    def _shadow_program(self, shadow=True):
+        hash_map = HashMap(4, 8, 16)
+        perf_map = PerfEventArray(num_cpus=2)
+        asm = Assembler()
+        asm.call(HELPER_KTIME_GET_NS)
+        asm.stx_dw(R10, R0, -8)
+        asm.call(HELPER_GET_PRANDOM_U32)
+        asm.stx_w(R10, R0, -12)
+        asm.st_imm(4, R10, -16, 7)
+        asm.ld_map_fd(R1, hash_map.fd)
+        asm.mov_reg(R2, R10)
+        asm.add_imm(R2, -16)
+        asm.mov_reg(R3, R10)
+        asm.add_imm(R3, -8)
+        asm.mov_imm(R4, 0)
+        asm.call(HELPER_MAP_UPDATE_ELEM)
+        asm.mov_imm(R1, 0)
+        asm.ld_map_fd(R2, perf_map.fd)
+        asm.mov_imm(R3, 0)
+        asm.mov_reg(R4, R10)
+        asm.add_imm(R4, -16)
+        asm.mov_imm(R5, 4)
+        asm.call(HELPER_PERF_EVENT_OUTPUT)
+        asm.mov_imm(R0, 0)
+        asm.exit_()
+        program = BPFProgram(asm.assemble(), name="shadowed", shadow=shadow)
+        program.load()
+        maps = {hash_map.fd: hash_map, perf_map.fd: perf_map}
+        env, _ = _deterministic_env(maps)
+        return program, env, hash_map, perf_map
+
+    def test_shadow_agreement_passes_and_counts_once(self):
+        program, env, hash_map, perf_map = self._shadow_program()
+        for _ in range(3):
+            result = program.run(env, bytearray(64))
+            assert result.r0 == 0
+        # Externally the shadowed runs count once each, against the
+        # real maps only.
+        assert program.run_count == 3
+        assert len(perf_map.pending) == 3
+        assert len(hash_map.state_snapshot()) == 1
+
+    def test_shadow_mismatch_raises(self):
+        program, env, _hash_map, _perf_map = self._shadow_program()
+        native = program._native
+
+        def corrupted(state, stack, ctx, packet):
+            return native(state, stack, ctx, packet) + 1  # wrong insn count
+
+        program._native = corrupted
+        with pytest.raises(ShadowMismatch):
+            program.run(env, bytearray(64))
+
+    def test_attachment_shadow_flag_arms_the_program(self):
+        from repro.ebpf.probes import EBPFAttachment
+
+        asm = Assembler()
+        asm.mov_imm(R0, 1)
+        asm.exit_()
+        program = BPFProgram(asm.assemble(), name="plain")
+        program.load()
+        EBPFAttachment(program, ExecutionEnv())
+        assert program.shadow is False
+        EBPFAttachment(program, ExecutionEnv(), shadow=True)
+        assert program.shadow is True
 
 
 class TestDifferentialCompiledScripts:

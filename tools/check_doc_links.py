@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in README.md and docs/*.md.
+
+Scans every markdown link and image reference.  External targets
+(``http(s)://``, ``mailto:``) are skipped; everything else is resolved
+relative to the file containing the link and must exist in the working
+tree.  In-page anchors (``#section``) are checked against the headings
+of the target file (or the current file for bare ``#anchors``).
+
+Usage: ``python tools/check_doc_links.py [repo_root]`` -- exits 1 and
+lists every broken link if any are found.  CI runs this in the lint
+job; ``tests/test_doc_links.py`` runs it in the test suite.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+# [text](target) and ![alt](target), ignoring code spans handled below.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def _strip_code(text: str) -> str:
+    """Blank out fenced and inline code so example links are not checked."""
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    return re.sub(r"`[^`]*`", "", text)
+
+
+def _slug(text: str) -> str:
+    text = re.sub(r"[`*_\[\]()]", "", text).strip().lower()
+    slug = re.sub(r"\s+", "-", re.sub(r"[^\w\s-]", "", text))
+    # GitHub keeps one hyphen per removed token; collapse runs so both
+    # single- and double-hyphen spellings of the same heading resolve.
+    return re.sub(r"-+", "-", slug)
+
+
+def _anchors(markdown: str) -> set:
+    """Approximate GitHub anchor slugs for every heading in ``markdown``.
+
+    Fenced code blocks are skipped (a ``# comment`` in an example is not
+    a heading) but inline code inside headings keeps its text, exactly
+    as GitHub's slugger treats it.
+    """
+    no_fences = re.sub(r"```.*?```", "", markdown, flags=re.DOTALL)
+    return {_slug(heading) for heading in _HEADING_RE.findall(no_fences)}
+
+
+def doc_files(root: Path) -> List[Path]:
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [path for path in files if path.is_file()]
+
+
+def find_broken_links(root: Path) -> List[Tuple[Path, str, str]]:
+    """Return ``(file, target, reason)`` for every broken relative link."""
+    broken = []
+    for path in doc_files(root):
+        text = path.read_text()
+        for target in _LINK_RE.findall(_strip_code(text)):
+            if target.startswith(_EXTERNAL_PREFIXES):
+                continue
+            base, _, fragment = target.partition("#")
+            fragment = re.sub(r"-+", "-", fragment.lower())
+            if not base:  # in-page anchor
+                if fragment and fragment not in _anchors(text):
+                    broken.append((path, target, "missing heading anchor"))
+                continue
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                broken.append((path, target, "file does not exist"))
+                continue
+            if fragment and resolved.suffix == ".md":
+                if fragment not in _anchors(resolved.read_text()):
+                    broken.append((path, target, "missing heading anchor"))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path(__file__).resolve().parent.parent
+    broken = find_broken_links(root)
+    for path, target, reason in broken:
+        print(f"{path.relative_to(root)}: broken link {target!r} ({reason})")
+    checked = len(doc_files(root))
+    if broken:
+        print(f"{len(broken)} broken link(s) across {checked} file(s)")
+        return 1
+    print(f"all relative links OK across {checked} file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
