@@ -1,0 +1,39 @@
+"""Macro benchmark: the 1000-node fleet at 4 shards.
+
+The middle point of the fleet-scaling curve (1 / 4 / 16 shards); see
+``bench_macro_fleet.py`` for the gate design.
+"""
+
+from repro.experiments.macro_fleet import FleetConfig, run_macro_fleet
+
+FULL_TICKS = 100
+SMOKE_TICKS = 10
+SHARDS = 4
+
+
+def _fleet(ticks: int) -> dict:
+    result = run_macro_fleet(FleetConfig(ticks=ticks), shards=SHARDS)
+    return dict(result.metrics)
+
+
+def run(preset: str = "smoke") -> dict:
+    """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
+    from repro.bench.presets import scale_count
+
+    return _fleet(scale_count(preset, FULL_TICKS, floor=SMOKE_TICKS))
+
+
+def test_macro_fleet_four_shards(benchmark, once, report):
+    metrics = once(_fleet, SMOKE_TICKS)
+    report(
+        "Macro: 1000-node fleet, 4 shards",
+        {
+            "rows inserted": metrics["rows_inserted"],
+            "boundary messages": metrics["boundary_messages"],
+            "rounds": metrics["rounds"],
+            "digest": metrics["digest16"],
+        },
+    )
+    assert metrics["shards"] == SHARDS
+    assert metrics["rounds"] > 0
+    assert metrics["rtt_avg_ns"] == 2_000_014

@@ -13,17 +13,34 @@ VM on each, Open vSwitch bridging each VM to the NIC -- then:
 4. runs the workload and prints the end-to-end latency decomposition,
    followed by the pipeline's own health report (docs/OBSERVABILITY.md).
 
-Run:  python examples/quickstart.py
+Run:  python examples/quickstart.py [--shards N]
+
+``--shards N`` runs the identical scenario on a compat-tier
+ShardedEngine with N shards (docs/SHARDING.md); the output is
+byte-identical to the default single-heap engine -- CI diffs the two to
+prove it.
 """
+
+import argparse
 
 from repro.core import FilterRule, TracepointSpec, TracingSpec, VNetTracer
 from repro.experiments.topologies import build_two_host_kvm
 from repro.net.packet import IPPROTO_UDP
+from repro.sim import ShardedEngine, engine_factory
 from repro.workloads.sockperf import SockperfClient, SockperfServer
 
 
 def main() -> None:
-    scene = build_two_host_kvm(seed=42)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--shards", type=int, default=0, metavar="N",
+                        help="run on a ShardedEngine with N shards (default: plain engine)")
+    args = parser.parse_args()
+
+    if args.shards:
+        with engine_factory(lambda: ShardedEngine(shards=args.shards)):
+            scene = build_two_host_kvm(seed=42)
+    else:
+        scene = build_two_host_kvm(seed=42)
     engine = scene.engine
 
     # -- the application under observation --------------------------------

@@ -368,7 +368,6 @@ def _bench(args) -> int:
         )
         if profile is not None:
             profile.disable()
-            _print_profile(profile, args.profile)
         report = build_report(results, args.preset, deterministic=args.deterministic)
         if args.json:
             print(dumps_report(report), end="")
@@ -384,6 +383,7 @@ def _bench(args) -> int:
             path = write_report(baseline_doc, bench_dir / "baseline.json")
             if not args.json:
                 print(f"updated baseline {path}")
+        exit_code = 0
         if args.compare:
             baseline = load_report(args.compare)
             regressions, lines = compare_reports(report, baseline)
@@ -395,9 +395,17 @@ def _bench(args) -> int:
                       f"baseline tolerance:", file=stream)
                 for regression in regressions:
                     print(f"  {regression.describe()}", file=stream)
-                return 1
-            print("no regressions beyond the baseline tolerance", file=stream)
-        return 0
+                exit_code = 1
+            else:
+                print("no regressions beyond the baseline tolerance", file=stream)
+        if profile is not None:
+            # Strictly after every line of report output, and only once
+            # stdout is flushed: with ``--json --out -`` the report must
+            # stay one contiguous parseable document even when stdout
+            # and stderr share a pipe.
+            sys.stdout.flush()
+            _print_profile(profile, args.profile)
+        return exit_code
     except (DiscoveryError, SchemaError) as exc:
         print(f"bench: {exc}", file=sys.stderr)
         return 2

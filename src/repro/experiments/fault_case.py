@@ -36,6 +36,7 @@ from repro.faults.plan import ChannelFaults, FaultPlan
 from repro.net.addressing import IPv4Address
 from repro.net.packet import IPPROTO_UDP
 from repro.net.stack import KernelNode
+from repro.sim import new_engine
 from repro.sim.engine import Engine
 from repro.tracing.export import chrome_trace_json
 
@@ -118,7 +119,7 @@ def run_fault_case(
     retries: bool = True,
 ) -> FaultCaseResult:
     """Run one leg: the two-node online-collection flow under ``plan``."""
-    engine = Engine()
+    engine = new_engine()
     node_a, node_b, ip_a, ip_b = _build_pair(engine)
 
     session = (

@@ -14,6 +14,7 @@ from repro.net.addressing import IPv4Address
 from repro.net.bridge import BridgeDevice
 from repro.net.costs import CostModel, DEFAULT_COSTS
 from repro.net.nic import Link, PhysicalNIC, connect_hosts
+from repro.sim import new_engine
 from repro.sim.engine import Engine
 from repro.sim.rng import SeededRNG
 from repro.virt.container import Container
@@ -52,7 +53,7 @@ def build_two_host_kvm(
     clock_drift2_ppm: float = 20.0,
 ) -> TwoHostKVMScene:
     """Two servers, a KVM VM on each, OVS bridging VM + NIC per host."""
-    engine = Engine()
+    engine = new_engine()
     costs = costs or DEFAULT_COSTS
     rng = SeededRNG(seed, "two-host")
     host1 = PhysicalHost(engine, "host1", costs=costs, rng=rng.fork("h1"))
@@ -123,7 +124,7 @@ def build_netperf_xen(
     ratelimit_us: int = 1000,
 ) -> NetperfXenScene:
     """Netperf client on bare metal -> server inside a 1-vCPU Xen VM."""
-    engine = Engine()
+    engine = new_engine()
     costs = costs or DEFAULT_COSTS
     rng = SeededRNG(seed, "netperf-xen")
     client_host = PhysicalHost(engine, "client", costs=costs, rng=rng.fork("c"))
@@ -177,7 +178,7 @@ def build_ovs_case(
     num_vms: int = 3,
     costs: Optional[CostModel] = None,
 ) -> OVSCaseScene:
-    engine = Engine()
+    engine = new_engine()
     costs = costs or DEFAULT_COSTS
     rng = SeededRNG(seed, "ovs-case")
     host = PhysicalHost(engine, "host1", costs=costs, rng=rng.fork("h"))
@@ -227,7 +228,7 @@ def build_xen_case(
     costs: Optional[CostModel] = None,
     link_gbps: float = 1.0,
 ) -> XenCaseScene:
-    engine = Engine()
+    engine = new_engine()
     costs = costs or DEFAULT_COSTS
     rng = SeededRNG(seed, "xen-case")
     client_host = PhysicalHost(engine, "client", costs=costs, rng=rng.fork("c"))
@@ -320,7 +321,7 @@ def build_overlay_case(
 ) -> OverlayCaseScene:
     """Two VMs on one host (linux bridge between their backends), a
     Docker overlay (VXLAN, etcd) connecting one container on each."""
-    engine = Engine()
+    engine = new_engine()
     costs = costs or DEFAULT_COSTS
     rng = SeededRNG(seed, "overlay-case")
     host = PhysicalHost(engine, "host1", costs=costs, rng=rng.fork("h"))

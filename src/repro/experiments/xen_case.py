@@ -238,7 +238,9 @@ def run_fig11_condition(
             TracepointSpec(node=scene.server_host.node.name, hook="dev:xenbr0", label=chain[1]),
             TracepointSpec(node=scene.server_host.node.name, hook="dev:vif1.0", label=chain[2]),
             TracepointSpec(node=scene.io_vm.node.name, hook="dev:eth1", label=chain[3]),
-            TracepointSpec(node=scene.io_vm.node.name, hook=f"dev:{scene.veth_name}", label=chain[4]),
+            TracepointSpec(
+                node=scene.io_vm.node.name, hook=f"dev:{scene.veth_name}", label=chain[4]
+            ),
         ],
     )
 

@@ -13,7 +13,9 @@ observability layer itself), ``tracing`` (span-tree reconstruction,
 see ``docs/TIMELINES.md``), ``faults`` (control/data-plane delivery
 attempts, retries, and injected-fault accounting, see
 ``docs/FAULTS.md``), ``tracedb`` (the columnar trace store's column
-bytes, lazy-index rebuilds, and bulk blob ingests).
+bytes, lazy-index rebuilds, and bulk blob ingests), ``shard`` (the
+sharded simulation substrate's rounds, per-shard event counts, and
+boundary traffic, see ``docs/SHARDING.md``).
 """
 
 from __future__ import annotations
@@ -31,6 +33,7 @@ STAGE_SAMPLER = "sampler"
 STAGE_TRACING = "tracing"
 STAGE_FAULTS = "faults"
 STAGE_TRACEDB = "tracedb"
+STAGE_SHARD = "shard"
 
 # Fixed bucket bounds (upper edges; +Inf is implicit).  Batch sizes are
 # records per flush; latencies are nanoseconds of virtual time.
@@ -274,6 +277,32 @@ TRACEDB_BULK_BATCHES = MetricSpec(
     "(insert_packed calls; the batch-first hot path).",
     "batches", STAGE_TRACEDB)
 
+# -- sharded simulation substrate (sim/shard.py, sim/coordinator.py) ----------
+
+SHARD_ROUNDS = MetricSpec(
+    "vnt_shard_rounds_total", "counter",
+    "Lookahead-bounded synchronization rounds advanced by a sharded "
+    "engine or shard coordinator.",
+    "rounds", STAGE_SHARD)
+SHARD_EVENTS = MetricSpec(
+    "vnt_shard_events_total", "counter",
+    "Events executed on each shard's event loop.",
+    "events", STAGE_SHARD, ("shard",))
+SHARD_BOUNDARY = MetricSpec(
+    "vnt_shard_boundary_events_total", "counter",
+    "Cross-shard traffic routed through boundary queues: boundary "
+    "messages per source shard (fleet tier), or events scheduled onto "
+    "a shard other than their scheduler's (compat tier).",
+    "events", STAGE_SHARD, ("shard",))
+SHARD_HORIZON = MetricSpec(
+    "vnt_shard_horizon_ns", "gauge",
+    "Virtual-time horizon of the most recent synchronization round.",
+    "ns", STAGE_SHARD)
+SHARD_WORKERS = MetricSpec(
+    "vnt_shard_workers", "gauge",
+    "Worker processes hosting shards (0 when shards run in-process).",
+    "workers", STAGE_SHARD)
+
 ALL_METRICS: Tuple[MetricSpec, ...] = (
     RING_APPENDED, RING_DROPPED, RING_FLUSHES, RING_FLUSH_BATCH, RING_OCCUPANCY_HWM,
     AGENT_PROBE_FIRES, AGENT_FLUSH_LATENCY, AGENT_BATCHES_SENT,
@@ -291,9 +320,11 @@ ALL_METRICS: Tuple[MetricSpec, ...] = (
     FAULT_AGENT_CRASHES, FAULT_AGENT_RESTARTS,
     FAULT_RECORDS_LOST, FAULT_RING_PRESSURE, FAULT_SHIPMENT_DEDUPED,
     TRACEDB_BYTES, TRACEDB_INDEX_REBUILDS, TRACEDB_BULK_BATCHES,
+    SHARD_ROUNDS, SHARD_EVENTS, SHARD_BOUNDARY, SHARD_HORIZON, SHARD_WORKERS,
 )
 
 ALL_STAGES: Tuple[str, ...] = (
     STAGE_RINGBUFFER, STAGE_AGENT, STAGE_COLLECTOR, STAGE_CLOCKSYNC,
     STAGE_EBPF, STAGE_SAMPLER, STAGE_TRACING, STAGE_FAULTS, STAGE_TRACEDB,
+    STAGE_SHARD,
 )

@@ -19,6 +19,7 @@ from repro.experiments.topologies import build_two_host_kvm
 from repro.net.packet import IPPROTO_UDP
 from repro.obs.registry import MetricsRegistry
 from repro.obs.sampler import StatsSampler
+from repro.sim import ShardedEngine, engine_factory
 from repro.sim.engine import Engine
 from repro.workloads.sockperf import SockperfClient, SockperfServer
 
@@ -44,20 +45,33 @@ def run_quickstart_scenario(
     duration_ns: int = 1_000_000_000,
     mps: int = 2000,
     sample_interval_ns: int = 50_000_000,
+    shards: int = 2,
 ) -> ScenarioResult:
     """Run the quickstart tracing scenario and return its observability.
 
     The Sockperf client sends for ~60% of ``duration_ns`` (it starts
     only after clock synchronization completes, which takes the first
     ~60 ms of virtual time at the default 100 samples).
+
+    ``shards`` > 0 runs the scenario on a compat-tier
+    :class:`~repro.sim.ShardedEngine` (results are byte-identical to the
+    plain engine; the differential suite proves it) so the ``shard``
+    stage of the metrics contract is exercised by every scenario run;
+    ``shards=0`` keeps the plain single-heap engine.
     """
-    scene = build_two_host_kvm(seed=seed)
+    if shards:
+        with engine_factory(lambda: ShardedEngine(shards=shards)):
+            scene = build_two_host_kvm(seed=seed)
+    else:
+        scene = build_two_host_kvm(seed=seed)
     engine = scene.engine
 
     SockperfServer(scene.vm2.node, scene.vm2_ip)
     client = SockperfClient(scene.vm1.node, scene.vm1_ip, scene.vm2_ip, mps=mps)
 
     tracer = VNetTracer(engine)
+    if isinstance(engine, ShardedEngine):
+        engine.attach_metrics(tracer.obs)
     for kernel in (scene.host1.node, scene.host2.node, scene.vm1.node, scene.vm2.node):
         tracer.add_agent(kernel)
     sampler = tracer.attach_stats_sampler(interval_ns=sample_interval_ns)

@@ -14,11 +14,59 @@ Public surface:
   configurable offset and drift (models CLOCK_MONOTONIC on distinct
   machines whose clocks disagree).
 * :mod:`repro.sim.rng` -- deterministic random helpers.
+* :class:`~repro.sim.shard.ShardedEngine` -- Engine-compatible sharded
+  event loop (per-shard heaps, lookahead-bounded rounds, exact global
+  order); :func:`new_engine` / :func:`engine_factory` let scenarios swap
+  it in without touching topology builders (docs/SHARDING.md).
+* :mod:`repro.sim.coordinator` -- the fleet tier: independent per-shard
+  engines coupled only by boundary messages, optionally hosted on
+  ``multiprocessing`` workers.
 """
 
+from contextlib import contextmanager
+from typing import Callable, Iterator, Optional
+
 from repro.sim.clock import NodeClock
+from repro.sim.coordinator import (
+    BoundaryBatch,
+    BoundaryError,
+    BoundaryMessage,
+    BoundaryOutbox,
+    CoordinatorRun,
+    InlineOutbox,
+    ShardCoordinator,
+    ShardEngine,
+    ShardWorkerError,
+)
 from repro.sim.engine import Engine, Event, Signal, SimProcess
 from repro.sim.rng import SeededRNG
+from repro.sim.shard import DEFAULT_LOOKAHEAD_NS, ShardedEngine
+
+_engine_factory: Optional[Callable[[], Engine]] = None
+
+
+def new_engine() -> Engine:
+    """The engine every topology builder constructs its scene on.
+
+    Returns a plain :class:`Engine` unless an :func:`engine_factory`
+    override is active -- which is how the sharding differential suite
+    runs existing scenarios, unchanged, on a :class:`ShardedEngine`.
+    """
+    if _engine_factory is None:
+        return Engine()
+    return _engine_factory()
+
+
+@contextmanager
+def engine_factory(factory: Callable[[], Engine]) -> Iterator[None]:
+    """Make :func:`new_engine` return ``factory()`` inside the block."""
+    global _engine_factory
+    previous, _engine_factory = _engine_factory, factory
+    try:
+        yield
+    finally:
+        _engine_factory = previous
+
 
 __all__ = [
     "Engine",
@@ -27,4 +75,17 @@ __all__ = [
     "SimProcess",
     "NodeClock",
     "SeededRNG",
+    "ShardedEngine",
+    "DEFAULT_LOOKAHEAD_NS",
+    "ShardEngine",
+    "ShardCoordinator",
+    "CoordinatorRun",
+    "BoundaryMessage",
+    "BoundaryBatch",
+    "BoundaryOutbox",
+    "InlineOutbox",
+    "BoundaryError",
+    "ShardWorkerError",
+    "new_engine",
+    "engine_factory",
 ]

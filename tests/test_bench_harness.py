@@ -261,6 +261,27 @@ class TestCLI:
         assert "-- profile: top 5 functions" in err
         assert load_report(out)["scenarios"][0]["name"] == "fake"  # report unchanged
 
+    def test_profile_never_interleaves_with_json_report(self, bench_dir, monkeypatch):
+        """Regression: ``--profile`` used to print before the report was
+        emitted, so with ``--json --out -`` and stdout/stderr sharing a
+        pipe (the common ``2>&1`` case) the profile table landed in the
+        middle of the JSON document.  The profile must come strictly
+        after the last byte of the report."""
+        import io
+        import sys
+
+        shared = io.StringIO()
+        monkeypatch.setattr(sys, "stdout", shared)
+        monkeypatch.setattr(sys, "stderr", shared)
+        argv = ["bench", "--bench-dir", str(bench_dir), "--json", "--out", "-",
+                "--profile", "5"]
+        assert main(argv) == 0
+        combined = shared.getvalue()
+        marker = combined.index("-- profile: top 5 functions")
+        # Everything before the profile is one parseable JSON document.
+        doc = validate_report(json.loads(combined[:marker]))
+        assert doc["scenarios"][0]["name"] == "fake"
+
     def test_profile_flag_defaults_to_top_25(self):
         from repro.cli import build_parser
 

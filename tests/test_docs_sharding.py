@@ -1,0 +1,106 @@
+"""docs/SHARDING.md is a contract: the documented tables must match the code.
+
+Same pattern as the EBPF.md and OBSERVABILITY.md contract tests:
+
+* the metrics table mirrors the five ``SHARD_*`` specs in the contract;
+* the ``BoundaryMessage`` field table mirrors ``_fields``, in order;
+* the worker-protocol tables mirror ``PARENT_OPS`` / ``WORKER_REPLIES``;
+* the documented lookahead default and bucket sort key match the code.
+"""
+
+import re
+from pathlib import Path
+
+from repro.obs import contract
+from repro.sim.coordinator import (
+    _BUCKET_KEY,
+    PARENT_OPS,
+    WORKER_REPLIES,
+    BoundaryMessage,
+)
+from repro.sim.shard import DEFAULT_LOOKAHEAD_NS
+
+DOC_PATH = Path(__file__).resolve().parent.parent / "docs" / "SHARDING.md"
+
+SHARD_SPECS = (
+    contract.SHARD_ROUNDS,
+    contract.SHARD_EVENTS,
+    contract.SHARD_BOUNDARY,
+    contract.SHARD_HORIZON,
+    contract.SHARD_WORKERS,
+)
+
+
+def _section(name: str) -> str:
+    text = DOC_PATH.read_text()
+    match = re.search(
+        rf"<!-- {name}:begin -->\n(.*?)<!-- {name}:end -->", text, re.DOTALL
+    )
+    assert match, f"docs/SHARDING.md is missing the {name} marker block"
+    return match.group(1)
+
+
+def _table_rows(section: str):
+    """Yield the cell lists of every data row in a markdown table."""
+    for line in section.splitlines():
+        line = line.strip()
+        if not line.startswith("|") or set(line) <= {"|", "-", " "}:
+            continue
+        cells = [cell.strip() for cell in line.strip("|").split("|")]
+        if cells and cells[0] in ("metric", "field", "op"):
+            continue  # header row
+        yield cells
+
+
+def test_metrics_table_matches_contract():
+    documented = {}
+    for cells in _table_rows(_section("metrics")):
+        name, kind, unit, labels = cells
+        documented[name.strip("`")] = (
+            kind,
+            unit,
+            ()
+            if labels == "—"
+            else tuple(label.strip("`") for label in labels.split(",")),
+        )
+    actual = {
+        spec.name: (spec.kind, spec.unit, spec.label_names) for spec in SHARD_SPECS
+    }
+    assert documented == actual
+    # The contract's exhaustive list has no shard metric the doc misses.
+    assert {s.name for s in SHARD_SPECS} == {
+        s.name for s in contract.ALL_METRICS if s.stage == contract.STAGE_SHARD
+    }
+
+
+def test_boundary_message_table_matches_fields_in_order():
+    documented = [cells[0].strip("`") for cells in _table_rows(_section("boundary-message"))]
+    assert tuple(documented) == BoundaryMessage._fields
+
+
+def test_protocol_tables_match_wire_constants():
+    documented = [cells[0].strip("`") for cells in _table_rows(_section("protocol"))]
+    assert tuple(documented) == PARENT_OPS + WORKER_REPLIES
+
+
+def test_documented_lookahead_default_matches_code():
+    text = DOC_PATH.read_text()
+    assert f"`DEFAULT_LOOKAHEAD_NS` = {DEFAULT_LOOKAHEAD_NS:_} ns" in text
+
+
+def test_documented_bucket_sort_key_matches_code():
+    text = DOC_PATH.read_text()
+    assert "(`deliver_ns`, `src_shard`, `seq`)" in text
+    message = BoundaryMessage(
+        deliver_ns=7,
+        src_shard=1,
+        src_node=2,
+        dst_shard=3,
+        dst_node=4,
+        kind=5,
+        trace_id=6,
+        payload=8,
+        send_ns=0,
+        seq=9,
+    )
+    assert _BUCKET_KEY(message) == (7, 1, 9)

@@ -33,7 +33,9 @@ class TestALU:
         asm.add_imm(R0, b)
         asm.exit_()
         result = run_program(asm)
-        assert result.r0 == ((a & U64 if a >= 0 else a & U64) + (b & U64 if b >= 0 else b & U64)) & U64
+        assert (
+            result.r0 == ((a & U64 if a >= 0 else a & U64) + (b & U64 if b >= 0 else b & U64)) & U64
+        )
 
     @given(a=imm32)
     def test_mov_sign_extends(self, a):

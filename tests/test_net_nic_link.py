@@ -55,7 +55,9 @@ class TestLinkTiming:
         times = []
         for nic in (nic_b, nic_a):
             original = nic.link_receive
-            nic.link_receive = (lambda orig: lambda p: times.append(engine.now) or orig(p))(original)
+            nic.link_receive = (lambda orig: lambda p: times.append(engine.now) or orig(p))(
+                original
+            )
         link.send(nic_a, make_udp_packet(nic_a.mac, nic_b.mac, IP_A, IP_B, 1, 2, bytes(958)))
         link.send(nic_b, make_udp_packet(nic_b.mac, nic_a.mac, IP_B, IP_A, 1, 2, bytes(958)))
         engine.run()

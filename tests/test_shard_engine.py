@@ -1,0 +1,208 @@
+"""Compat-tier ShardedEngine: exact Engine-equivalence by construction.
+
+A :class:`ShardedEngine` must be a drop-in for :class:`Engine`: same
+execution order, same clock behavior, same cancellation and process
+semantics -- whatever the shard count and pinning.  These tests run the
+same scripted workloads on both engines and compare full execution
+traces; the heavier scenario-level equivalence lives in
+``test_shard_differential.py``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    DEFAULT_LOOKAHEAD_NS,
+    Engine,
+    ShardedEngine,
+    engine_factory,
+    new_engine,
+)
+from repro.sim.engine import SimulationError
+from repro.obs.registry import MetricsRegistry
+
+
+def _workload(engine, log):
+    """A mixed workload: timers, re-scheduling, zero-delay wakeups,
+    cancellations, ties at the same timestamp."""
+
+    def emit(tag):
+        log.append((engine.now, tag))
+
+    def tick(remaining, interval, lane):
+        emit(f"tick-{lane}")
+        shadow = engine.schedule(interval + 7, emit, f"shadow-{lane}")
+        shadow.cancel()
+        engine.schedule(0, emit, f"wake-{lane}")
+        if remaining > 1:
+            engine.schedule(interval, tick, remaining - 1, interval, lane)
+
+    for lane in range(5):
+        engine.schedule(lane * 10 + 1, tick, 40, 13 + lane, lane)
+    # Deliberate timestamp ties across lanes: seq order must decide.
+    for k in range(10):
+        engine.schedule_at(500, emit, f"tie-{k}")
+
+
+class TestOrderIdentity:
+    @pytest.mark.parametrize("shards", [1, 2, 4, 7])
+    def test_same_execution_trace(self, shards):
+        base_log, shard_log = [], []
+        base = Engine()
+        _workload(base, base_log)
+        base_executed = base.run()
+
+        sharded = ShardedEngine(shards=shards)
+        _workload(sharded, shard_log)
+        shard_executed = sharded.run()
+
+        assert shard_log == base_log
+        assert shard_executed == base_executed
+        assert sharded.now == base.now
+
+    def test_until_and_clock_advance(self):
+        for cls in (Engine, lambda: ShardedEngine(shards=3)):
+            engine = cls()
+            log = []
+            engine.schedule(100, log.append, "a")
+            engine.schedule(300, log.append, "b")
+            executed = engine.run(until=200)
+            assert log == ["a"]
+            assert executed == 1
+            # The clock advances to `until` when no event lands on it.
+            assert engine.now == 200
+            engine.run(until=300)
+            assert log == ["a", "b"]
+            assert engine.now == 300
+
+    def test_max_events(self):
+        engine = ShardedEngine(shards=4)
+        log = []
+        for i in range(20):
+            engine.schedule(i + 1, log.append, i)
+        assert engine.run(max_events=5) == 5
+        assert log == [0, 1, 2, 3, 4]
+        assert engine.run() == 15
+
+    def test_processes_and_signals(self):
+        def trace(engine):
+            out = []
+            sig = engine.signal()
+
+            def waiter():
+                value = yield sig
+                out.append(("woke", engine.now, value))
+                yield 50
+                out.append(("slept", engine.now))
+
+            def kicker():
+                yield 100
+                sig.trigger("go")
+
+            engine.process(waiter(), name="w")
+            engine.process(kicker(), name="k")
+            engine.run()
+            return out
+
+        assert trace(ShardedEngine(shards=4)) == trace(Engine())
+
+    def test_zero_delay_fast_path_matches(self):
+        for engine in (Engine(), ShardedEngine(shards=2)):
+            order = []
+            engine.schedule(0, order.append, "first")
+            engine.schedule(0, order.append, "second")
+            engine.run()
+            assert order == ["first", "second"]
+
+
+class TestShardPlacement:
+    def test_pinned_routes_and_inherits(self):
+        engine = ShardedEngine(shards=4)
+        seen = []
+
+        def child():
+            seen.append(engine.shard_of(engine.schedule(5, lambda: None)))
+
+        with engine.pinned(2):
+            event = engine.schedule(10, child)
+        assert engine.shard_of(event) == 2
+        engine.run()
+        # The child's event inherits the executing event's shard.
+        assert seen == [2]
+
+    def test_pinned_out_of_range(self):
+        engine = ShardedEngine(shards=2)
+        with pytest.raises(SimulationError):
+            with engine.pinned(2):
+                pass
+
+    def test_boundary_counter(self):
+        engine = ShardedEngine(shards=2)
+
+        def cross():
+            with engine.pinned(1):
+                engine.schedule(10, lambda: None)
+
+        with engine.pinned(0):
+            engine.schedule(1, cross)
+        engine.run()
+        assert engine.boundary_events == 1
+        assert engine.boundary_events_by_shard == [0, 1]
+        assert engine.events_by_shard[0] == 1
+        assert engine.events_by_shard[1] == 1
+
+    def test_constructor_validation(self):
+        with pytest.raises(SimulationError):
+            ShardedEngine(shards=0)
+        with pytest.raises(SimulationError):
+            ShardedEngine(lookahead_ns=0)
+
+    def test_rounds_bounded_by_lookahead(self):
+        engine = ShardedEngine(shards=2, lookahead_ns=100)
+        for t in (10, 50, 500, 510, 5000):
+            engine.schedule_at(t, lambda: None)
+        engine.run()
+        # (10,50) | (500,510) | (5000,) -> three lookahead rounds.
+        assert engine.rounds == 3
+        assert engine.last_horizon_ns == 5100
+
+
+class TestEngineFactory:
+    def test_default_is_plain_engine(self):
+        assert type(new_engine()) is Engine
+
+    def test_factory_scopes_and_restores(self):
+        with engine_factory(lambda: ShardedEngine(shards=3)):
+            inside = new_engine()
+            assert isinstance(inside, ShardedEngine)
+            assert inside.num_shards == 3
+        assert type(new_engine()) is Engine
+
+    def test_factory_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with engine_factory(lambda: ShardedEngine(shards=2)):
+                raise RuntimeError("boom")
+        assert type(new_engine()) is Engine
+
+
+class TestMetrics:
+    def test_attach_metrics_registers_shard_stage(self):
+        from repro.obs import contract
+
+        engine = ShardedEngine(shards=2)
+        registry = MetricsRegistry()
+        engine.attach_metrics(registry)
+        with engine.pinned(1):
+            engine.schedule(10, lambda: None)
+        engine.schedule(20, lambda: None)
+        engine.run()
+        flat = registry.flatten()
+        assert flat[contract.SHARD_ROUNDS.name] > 0
+        assert flat[contract.SHARD_EVENTS.name + '{shard="0"}'] == 1.0
+        assert flat[contract.SHARD_EVENTS.name + '{shard="1"}'] == 1.0
+        assert flat[contract.SHARD_WORKERS.name] == 0.0
+        assert flat[contract.SHARD_HORIZON.name] == engine.last_horizon_ns
+
+    def test_default_lookahead_exported(self):
+        assert ShardedEngine().lookahead_ns == DEFAULT_LOOKAHEAD_NS
