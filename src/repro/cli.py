@@ -9,6 +9,8 @@
     python -m repro.cli timeline --format chrome --out trace.json
     python -m repro.cli timeline --trace-id 0xc2a5e8a3 --format text
     python -m repro.cli faults --seed 7 --format json
+    python -m repro.cli watch --window-ms 100
+    python -m repro.cli watch --deterministic
     python -m repro.cli bench --preset smoke
     python -m repro.cli bench --preset smoke --compare benchmarks/baseline.json
 
@@ -29,6 +31,12 @@ indented text rendering with critical-path and anomaly summaries.
 faulty-with-retries, lossy-without-retries; see docs/FAULTS.md) and
 exits non-zero if the resilient delivery layer fails the equivalence
 or loss-accounting invariants.
+
+`watch` runs the quickstart scenario with the streaming query layer
+attached (see docs/STREAMING.md) and prints the closed window frames --
+per-flow throughput, per-hop latency/jitter, percentile sketches, and
+the top-K slowest flows -- as a table or JSON; `--deterministic` emits
+one canonical JSON document the CI determinism job byte-diffs.
 
 `bench` runs the benchmark harness over every `benchmarks/bench_*.py`
 scenario, writes a schema-versioned `BENCH_<timestamp>.json`, and can
@@ -310,6 +318,7 @@ def _faults(args) -> int:
             "rows_match": r.rows_match,
             "decomposition_match": r.decomposition_match,
             "timeline_match": r.timeline_match,
+            "streaming_match": r.streaming_match,
             "loss_accounted": r.loss_accounted,
         },
     }
@@ -328,11 +337,83 @@ def _faults(args) -> int:
         print(f"  rows match            {r.rows_match}")
         print(f"  decomposition match   {r.decomposition_match}")
         print(f"  timeline match        {r.timeline_match}")
+        print(f"  streaming match       {r.streaming_match}")
         print(f"  loss accounted        {r.loss_accounted}")
     ok = r.equivalent and r.loss_accounted
     if not ok:
         print("faults: equivalence invariant violated", file=sys.stderr)
     return 0 if ok else 1
+
+
+def _watch(args) -> None:
+    """Stream the quickstart scenario's closed window frames
+    (docs/STREAMING.md)."""
+    import json
+
+    from repro.obs.registry import estimate_quantile
+    from repro.obs.scenario import run_quickstart_scenario
+    from repro.streaming import canonical_json
+
+    result = run_quickstart_scenario(
+        seed=args.seed,
+        duration_ns=args.duration_ns,
+        window_ns=args.window_ms * 1_000_000,
+    )
+    agg = result.streaming
+
+    if args.deterministic or args.format == "json":
+        doc = {
+            "chain": list(agg.config.chain),
+            "window_ns": agg.config.window_ns,
+            "frames": agg.frames_as_dicts(),
+            "snapshots": agg.snapshots,
+            "summary": agg.summary(),
+        }
+        if args.deterministic:
+            print(canonical_json(doc))
+        else:
+            print(json.dumps(doc, sort_keys=True, indent=2))
+        return
+
+    chain = agg.config.chain
+    e2e = f"{chain[0]}->{chain[-1]}"
+    bounds = agg.config.sketch_bounds
+    print(
+        f"watch: {agg.windows_closed} windows x "
+        f"{agg.config.window_ns / 1e6:g} ms over {' -> '.join(chain)}"
+    )
+    print(
+        f"  {agg.records} records, {agg.late_records} late, "
+        f"{agg.gap_notices} gap notices"
+    )
+    print(f"{'window':>8} {'start ms':>10} {'records':>8} "
+          f"{'e2e n':>6} {'avg us':>9} {'p99 us':>9}")
+    for frame in agg.frames:
+        hop = frame.hops.get(e2e)
+        if hop:
+            n = hop["count"]
+            avg = f"{hop['sum_ns'] / n / 1e3:9.1f}"
+            p99 = estimate_quantile(bounds, hop["sketch"], 0.99)
+            p99 = f"{p99 / 1e3:9.1f}" if p99 is not None else f"{'-':>9}"
+            n = f"{n:6d}"
+        else:
+            n, avg, p99 = f"{'-':>6}", f"{'-':>9}", f"{'-':>9}"
+        print(f"{frame.index:>8} {frame.start_ns / 1e6:>10.1f} "
+              f"{frame.records:>8} {n} {avg} {p99}")
+    summary = agg.summary()
+    print("run totals:")
+    for key, hop in summary["hops"].items():
+        if not hop["count"]:
+            continue
+        p50 = hop["p50_ns"] / 1e3 if hop["p50_ns"] is not None else 0.0
+        p99 = hop["p99_ns"] / 1e3 if hop["p99_ns"] is not None else 0.0
+        print(f"  {key:45s} n={hop['count']:<6d} "
+              f"p50 {p50:8.1f} us  p99 {p99:8.1f} us")
+    slowest = ", ".join(
+        f"0x{entry['trace_id']:08x}={entry['latency_ns'] / 1e3:.1f}us"
+        for entry in summary["top_k_slowest"][:5]
+    )
+    print(f"  top slowest: {slowest}")
 
 
 def _bench(args) -> int:
@@ -499,6 +580,21 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--format", choices=("summary", "json"),
                         default="summary",
                         help="json = canonical byte-diffable report")
+    watch = sub.add_parser(
+        "watch",
+        help="run the quickstart scenario with the streaming query layer "
+             "and print live window frames (docs/STREAMING.md)",
+    )
+    watch.add_argument("--seed", type=int, default=42)
+    watch.add_argument("--duration-ms", type=_positive_int, default=1000,
+                       help="virtual duration of the scenario")
+    watch.add_argument("--window-ms", type=_positive_int, default=100,
+                       help="tumbling window width (virtual ms)")
+    watch.add_argument("--format", choices=("table", "json"), default="table",
+                       help="output format")
+    watch.add_argument("--deterministic", action="store_true",
+                       help="emit one canonical JSON document (byte-diffable; "
+                            "the CI determinism job diffs two runs)")
     bench = sub.add_parser(
         "bench", help="run the benchmark harness over benchmarks/bench_*.py"
     )
@@ -544,6 +640,9 @@ def main(argv=None) -> int:
     args.duration_ns = args.duration_ms * 1_000_000
     if args.command == "stats":
         _stats(args)
+        return 0
+    if args.command == "watch":
+        _watch(args)
         return 0
     if args.command == "timeline":
         return _timeline(args)

@@ -82,6 +82,9 @@ class RawDataCollector:
         self._held: Dict[str, Dict[int, Batch]] = {}
         self._skipped: Dict[str, set] = {}
         self.fault_metrics = FaultMetrics(registry)
+        # Optional streaming tap (docs/STREAMING.md), fed from _apply so
+        # it sits downstream of the dedup/resequencing pipeline.
+        self._streaming = None
 
         self._m_batches = self._m_records = self._m_unknown = None
         if registry is not None:
@@ -105,6 +108,15 @@ class RawDataCollector:
     def register_labels(self, labels: Dict[int, str]) -> None:
         """Tracepoint-id -> label mapping from the deployed spec."""
         self._labels.update(labels)
+
+    def set_streaming_tap(self, tap) -> None:
+        """Subscribe a streaming aggregator to applied batches and gap
+        notices.  The tap observes each batch right after the database
+        insert, so it sees exactly the deduplicated, in-sequence record
+        stream the TraceDB stores (docs/STREAMING.md)."""
+        if self._streaming is not None and self._streaming is not tap:
+            raise ValueError("collector already has a streaming tap")
+        self._streaming = tap
 
     # -- ingest -----------------------------------------------------------------
 
@@ -151,6 +163,8 @@ class RawDataCollector:
         if not self.db.mark_batch(node, seq):
             return  # it actually arrived earlier; nothing to skip
         self._skipped.setdefault(node, set()).add(seq)
+        if self._streaming is not None:
+            self._streaming.observe_gap(node, seq)
         self._drain(node)
 
     def _drain(self, node: str) -> None:
@@ -190,6 +204,8 @@ class RawDataCollector:
         if self._m_records is not None:
             self._m_records.inc(count)
         self.batch_log.append((self.engine.now, node, count))
+        if self._streaming is not None:
+            self._streaming.observe_ingest(node)
 
     def pending_batches(self, node: str) -> int:
         """Batches held by the resequencer waiting for an earlier seq."""

@@ -91,6 +91,41 @@ class TracerSession:
         self.tracer.attach_stats_sampler(interval_ns=interval_ns)
         return self
 
+    def with_streaming(
+        self,
+        chain: Sequence[str],
+        window_ns: int = 100_000_000,
+        slide_ns: Optional[int] = None,
+        allowed_lateness_ns: int = 0,
+        top_k: int = 8,
+        emit_interval_ns: Optional[int] = None,
+    ) -> "TracerSession":
+        """Attach the live window-aggregation layer over ``chain``
+        (docs/STREAMING.md); the aggregator is on ``self.streaming``
+        and its closed frames on :meth:`window_frames`."""
+        self.tracer.attach_streaming(
+            chain,
+            window_ns=window_ns,
+            slide_ns=slide_ns,
+            allowed_lateness_ns=allowed_lateness_ns,
+            top_k=top_k,
+            emit_interval_ns=emit_interval_ns,
+        )
+        return self
+
+    @property
+    def streaming(self):
+        """The attached streaming aggregator (``None`` until
+        :meth:`with_streaming`)."""
+        return self.tracer.streaming
+
+    def window_frames(self):
+        """Closed :class:`~repro.streaming.windows.WindowFrame` rows so
+        far (flush the tail with ``session.streaming.close_all()``)."""
+        if self.tracer.streaming is None:
+            return []
+        return list(self.tracer.streaming.frames)
+
     # -- driving the pipeline ----------------------------------------------
 
     def deploy(self, spec: TracingSpec) -> DeployReport:

@@ -85,6 +85,7 @@ class VNetTracer:
         self.active_spec: Optional[TracingSpec] = None
         self.clock_estimates: Dict[str, SkewEstimate] = {}
         self.sampler: Optional[StatsSampler] = None
+        self.streaming = None  # StreamingAggregator via attach_streaming
         self._sync_programs: List = []
         self._span_assembler = None
         register_ebpf_metrics(self.obs, self._iter_programs)
@@ -289,6 +290,39 @@ class VNetTracer:
             rate_gauge, obs_contract.COLLECTOR_RECORDS.name)
         self.sampler.start()
         return self.sampler
+
+    def attach_streaming(
+        self,
+        chain: Sequence[str],
+        window_ns: int = 100_000_000,
+        slide_ns: Optional[int] = None,
+        allowed_lateness_ns: int = 0,
+        top_k: int = 8,
+        emit_interval_ns: Optional[int] = None,
+    ):
+        """Attach the live window-aggregation layer (idempotent): an
+        aggregator subscribed to this tracer's collector ingest, with
+        its ``vnt_stream_*`` metrics in ``self.obs``.  Call its
+        ``close_all()`` after final collection to flush the last
+        windows (docs/STREAMING.md)."""
+        if self.streaming is not None:
+            return self.streaming
+        from repro.streaming import StreamingAggregator, StreamingConfig
+
+        config = StreamingConfig(
+            chain=tuple(chain),
+            window_ns=window_ns,
+            slide_ns=slide_ns,
+            allowed_lateness_ns=allowed_lateness_ns,
+            top_k=top_k,
+            emit_interval_ns=emit_interval_ns,
+        )
+        aggregator = StreamingAggregator(config, registry=self.obs)
+        aggregator.attach(self.collector)
+        if emit_interval_ns is not None:
+            aggregator.start_emitter(self.engine, emit_interval_ns)
+        self.streaming = aggregator
+        return aggregator
 
     def pipeline_health(self) -> str:
         """The pipeline-health report (see analysis.reports)."""

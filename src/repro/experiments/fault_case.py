@@ -67,6 +67,14 @@ class FaultCaseResult:
     ship_retries: int
     deduped_batches: int
     metrics: Dict[str, float] = field(default_factory=dict)
+    # Streaming query layer (docs/STREAMING.md): the canonical run-level
+    # summary (windows closed over the send->recv hop) and the number of
+    # skip_shipment gap notices the aggregator saw.
+    streaming_summary: str = ""
+    streaming_gaps: int = 0
+    # The leg's populated TraceDB, kept so the streaming differential
+    # suite can compute the offline reference answer from it.
+    db: Optional[object] = None
 
 
 def default_fault_plan(seed: int = 7) -> FaultPlan:
@@ -127,6 +135,11 @@ def run_fault_case(
         .with_agent(node_a)
         .with_agent(node_b)
         .with_fault_plan(plan)
+        # Streaming windows over the same hop the offline decomposition
+        # covers; under faults the closed frames must stay byte-identical
+        # to the fault-free leg (the dedup/resequencing pipeline runs
+        # upstream of the tap).
+        .with_streaming(["send", "recv"], window_ns=10_000_000)
     )
     tracer = session.tracer
 
@@ -164,6 +177,8 @@ def run_fault_case(
             agent.ring.flush()
     engine.run(until=traffic_end + SETTLE_NS)
     collect_report = session.collect()
+    streaming = tracer.streaming
+    streaming.close_all()
 
     chain = ["send", "recv"]
     decomposition = session.decompose(chain)
@@ -199,6 +214,9 @@ def run_fault_case(
             "shipment_injected": _counter_total(
                 registry, "vnt_fault_shipment_injected_total"),
         },
+        streaming_summary=streaming.summary_json(),
+        streaming_gaps=streaming.gap_notices,
+        db=tracer.db,
     )
 
 
@@ -213,10 +231,16 @@ class FaultEquivalenceResult:
     decomposition_match: bool
     timeline_match: bool
     loss_accounted: bool
+    streaming_match: bool = False
 
     @property
     def equivalent(self) -> bool:
-        return self.rows_match and self.decomposition_match and self.timeline_match
+        return (
+            self.rows_match
+            and self.decomposition_match
+            and self.timeline_match
+            and self.streaming_match
+        )
 
 
 def run_fault_equivalence(
@@ -246,5 +270,8 @@ def run_fault_equivalence(
         timeline_match=faulty.timeline_json == baseline.timeline_json,
         loss_accounted=(
             baseline.rows - lossy.rows == lossy.records_lost
+        ),
+        streaming_match=(
+            faulty.streaming_summary == baseline.streaming_summary
         ),
     )

@@ -35,6 +35,7 @@ from typing import Any, Dict, List, NamedTuple, Optional
 
 from repro.core.records import RECORD_STRUCT
 from repro.core.tracedb import TraceDB
+from repro.streaming import StreamingAggregator, StreamingConfig, canonical_json
 from repro.sim.coordinator import (
     BoundaryMessage,
     BoundaryOutbox,
@@ -62,6 +63,12 @@ FLEET_LABELS = {
     TP_PROBE_RX: "fleet.probe.rx",
     TP_REPLY_RX: "fleet.reply.rx",
 }
+# Probe path order, for the streaming window aggregation over the merge.
+FLEET_CHAIN = (
+    FLEET_LABELS[TP_PROBE_TX],
+    FLEET_LABELS[TP_PROBE_RX],
+    FLEET_LABELS[TP_REPLY_RX],
+)
 
 # Rack leaders stagger their sync rounds by this much so the master
 # never sees two requests at one timestamp (keeps residue 500 mod 1000).
@@ -385,6 +392,10 @@ class FleetRunResult(NamedTuple):
     digest16: str
     metrics: Dict[str, object]
     skews: Dict[int, int]
+    # The drained streaming aggregator over the merge path (every
+    # per-shard collector's blobs fanned into one set of tumbling
+    # windows); its closed frames are part of the fingerprint.
+    streaming: Optional[StreamingAggregator] = None
 
 
 def merge_fleet_results(
@@ -404,6 +415,13 @@ def merge_fleet_results(
 
     db = TraceDB()
     digest = hashlib.sha256()
+    # One streaming aggregator spans the whole merge: every shard's
+    # collected blobs fan into the same tumbling windows (standalone --
+    # no collector -- so windows only close in close_all(), after every
+    # node's whole-run blob has been replayed).
+    streaming = StreamingAggregator(
+        StreamingConfig(chain=FLEET_CHAIN, window_ns=config.tick_ns)
+    )
     per_rack = config.per_rack
     for node in sorted(blobs):
         name = f"node-{node:04d}"
@@ -411,8 +429,14 @@ def merge_fleet_results(
         if estimate:
             db.set_clock_skew(name, -estimate)
         db.insert_packed(name, blobs[node], FLEET_LABELS)
+        streaming.observe_batch(
+            name, blobs[node], FLEET_LABELS, skew_ns=-estimate if estimate else 0
+        )
         digest.update(struct.pack("<I", node))
         digest.update(blobs[node])
+    streaming.close_all()
+    for frame in streaming.frames:
+        digest.update(canonical_json(frame.as_dict()).encode())
     for rack in sorted(skews):
         digest.update(struct.pack("<iq", rack, skews[rack]))
     for key in sorted(totals):
@@ -426,9 +450,17 @@ def merge_fleet_results(
         "rows_inserted": db.rows_inserted,
         "rtt_avg_ns": rtt_avg,
         "skew_racks_recovered": len(skews),
+        "stream_windows_closed": streaming.windows_closed,
+        "stream_records": streaming.records,
         "digest16": digest.hexdigest()[:16],
     }
-    return FleetRunResult(db=db, digest16=metrics["digest16"], metrics=metrics, skews=skews)
+    return FleetRunResult(
+        db=db,
+        digest16=metrics["digest16"],
+        metrics=metrics,
+        skews=skews,
+        streaming=streaming,
+    )
 
 
 def run_macro_fleet(

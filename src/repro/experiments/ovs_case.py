@@ -92,8 +92,14 @@ def run_case(
     rate_limit: bool = False,
     htb: bool = False,
     costs: Optional[CostModel] = None,
+    streaming: bool = False,
 ) -> OVSCaseResult:
-    """Run one congestion case; optionally decompose with vNetTracer."""
+    """Run one congestion case; optionally decompose with vNetTracer.
+
+    ``streaming=True`` (requires ``trace=True``) additionally attaches
+    the live window-aggregation layer over the case's tracepoint chain
+    (docs/STREAMING.md); all windows are closed after final collection,
+    so ``result.tracer.streaming`` holds the drained aggregator."""
     if case not in _CASE_LOADS:
         raise ValueError(f"unknown case {case!r}; choose from {CASES}")
     load = _CASE_LOADS[case]
@@ -183,7 +189,14 @@ def run_case(
                 ),
             ],
         )
+        if streaming:
+            tracer.attach_streaming(
+                [labels["send"], labels["ovs_in"], labels["ovs_out"],
+                 labels["recv"]],
+            )
         tracer.deploy(spec)
+    elif streaming:
+        raise ValueError("streaming=True requires trace=True")
 
     for client in iperf_clients:
         client.start(duration_ns + WARMUP_NS, start_delay_ns=10_000_000)
@@ -194,6 +207,8 @@ def run_case(
     chain = None
     if tracer is not None:
         tracer.collect()
+        if tracer.streaming is not None:
+            tracer.streaming.close_all()
         chain = [labels["send"], labels["ovs_in"], labels["ovs_out"], labels["recv"]]
         segments = tracer.decompose(chain)
         decomposition = {

@@ -36,6 +36,7 @@ from repro.obs.registry import (
     MetricError,
     MetricSpec,
     MetricsRegistry,
+    estimate_quantile,
 )
 from repro.obs.sampler import StatsSampler
 
@@ -50,6 +51,7 @@ __all__ = [
     "MetricSpec",
     "MetricsRegistry",
     "StatsSampler",
+    "estimate_quantile",
     "prometheus_text",
     "series_json",
     "snapshot_dict",

@@ -15,7 +15,9 @@ attempts, retries, and injected-fault accounting, see
 ``docs/FAULTS.md``), ``tracedb`` (the columnar trace store's column
 bytes, lazy-index rebuilds, and bulk blob ingests), ``shard`` (the
 sharded simulation substrate's rounds, per-shard event counts, and
-boundary traffic, see ``docs/SHARDING.md``).
+boundary traffic, see ``docs/SHARDING.md``), ``streaming`` (the live
+window-aggregation layer tapping packed-blob ingest downstream of the
+resequencer, see ``docs/STREAMING.md``).
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ STAGE_TRACING = "tracing"
 STAGE_FAULTS = "faults"
 STAGE_TRACEDB = "tracedb"
 STAGE_SHARD = "shard"
+STAGE_STREAMING = "streaming"
 
 # Fixed bucket bounds (upper edges; +Inf is implicit).  Batch sizes are
 # records per flush; latencies are nanoseconds of virtual time.
@@ -303,6 +306,41 @@ SHARD_WORKERS = MetricSpec(
     "Worker processes hosting shards (0 when shards run in-process).",
     "workers", STAGE_SHARD)
 
+# -- streaming window aggregation (streaming/aggregate.py) --------------------
+
+STREAM_RECORDS = MetricSpec(
+    "vnt_stream_records_total", "counter",
+    "Records observed by the streaming aggregator's collector tap "
+    "(downstream of the resequencer: deduplicated, in per-node order).",
+    "records", STAGE_STREAMING, ("node",))
+STREAM_WINDOWS_CLOSED = MetricSpec(
+    "vnt_stream_windows_closed_total", "counter",
+    "Windows closed by a watermark advance or by end-of-run close_all.",
+    "windows", STAGE_STREAMING)
+STREAM_LATE_OR_GAP = MetricSpec(
+    "vnt_stream_late_or_gap_total", "counter",
+    "Late data dropped because its window already closed (kind=late) "
+    "and skip_shipment gap notices from the resequencer (kind=gap).",
+    "events", STAGE_STREAMING, ("kind",))
+STREAM_SKETCH_MERGES = MetricSpec(
+    "vnt_stream_sketch_merges_total", "counter",
+    "Per-window percentile sketches merged into the run-level per-hop "
+    "sketches at window close.",
+    "merges", STAGE_STREAMING)
+STREAM_TOPK_EVICTIONS = MetricSpec(
+    "vnt_stream_topk_evictions_total", "counter",
+    "Flows evicted from the bounded top-K-slowest heap by a slower one.",
+    "evictions", STAGE_STREAMING)
+STREAM_OPEN_WINDOWS = MetricSpec(
+    "vnt_stream_open_windows", "gauge",
+    "Windows currently open (seen at least one record, not yet closed).",
+    "windows", STAGE_STREAMING)
+STREAM_WATERMARK = MetricSpec(
+    "vnt_stream_watermark_ns", "gauge",
+    "The event-time watermark: min over expected nodes of the newest "
+    "aligned timestamp, minus the allowed lateness.",
+    "ns", STAGE_STREAMING)
+
 ALL_METRICS: Tuple[MetricSpec, ...] = (
     RING_APPENDED, RING_DROPPED, RING_FLUSHES, RING_FLUSH_BATCH, RING_OCCUPANCY_HWM,
     AGENT_PROBE_FIRES, AGENT_FLUSH_LATENCY, AGENT_BATCHES_SENT,
@@ -321,10 +359,13 @@ ALL_METRICS: Tuple[MetricSpec, ...] = (
     FAULT_RECORDS_LOST, FAULT_RING_PRESSURE, FAULT_SHIPMENT_DEDUPED,
     TRACEDB_BYTES, TRACEDB_INDEX_REBUILDS, TRACEDB_BULK_BATCHES,
     SHARD_ROUNDS, SHARD_EVENTS, SHARD_BOUNDARY, SHARD_HORIZON, SHARD_WORKERS,
+    STREAM_RECORDS, STREAM_WINDOWS_CLOSED, STREAM_LATE_OR_GAP,
+    STREAM_SKETCH_MERGES, STREAM_TOPK_EVICTIONS, STREAM_OPEN_WINDOWS,
+    STREAM_WATERMARK,
 )
 
 ALL_STAGES: Tuple[str, ...] = (
     STAGE_RINGBUFFER, STAGE_AGENT, STAGE_COLLECTOR, STAGE_CLOCKSYNC,
     STAGE_EBPF, STAGE_SAMPLER, STAGE_TRACING, STAGE_FAULTS, STAGE_TRACEDB,
-    STAGE_SHARD,
+    STAGE_SHARD, STAGE_STREAMING,
 )

@@ -204,6 +204,51 @@ class Histogram:
         """Total observation count across labeled children."""
         return float(sum(state[2] for state in self._data.values()))
 
+    def quantile(self, q: float, labels: Iterable[object] = ()) -> Optional[float]:
+        """Implied quantile of one labeled child via the shared
+        bucket->quantile estimator (``None`` if never observed)."""
+        data = self.data(labels)
+        return estimate_quantile(self.spec.buckets, data.bucket_counts, q)
+
+
+def estimate_quantile(
+    bounds: Tuple[int, ...], bucket_counts: Iterable[int], q: float
+) -> Optional[float]:
+    """Prometheus-style ``histogram_quantile`` over fixed buckets.
+
+    ``bounds`` are the finite upper edges (ascending); ``bucket_counts``
+    has one count per bound plus the trailing +Inf bucket.  The estimate
+    interpolates linearly inside the bucket holding the ``q``-th rank
+    (lower edge 0 for the first bucket); ranks landing in the +Inf
+    bucket clamp to the highest finite bound.  Returns ``None`` for an
+    empty histogram.  The error is bounded by the width of the bucket
+    the true quantile falls in (see docs/STREAMING.md).
+    """
+    if not 0.0 <= q <= 1.0:
+        raise MetricError(f"quantile must be in [0, 1], got {q}")
+    counts = list(bucket_counts)
+    if len(counts) != len(bounds) + 1:
+        raise MetricError(
+            f"expected {len(bounds) + 1} bucket counts (+Inf last), got {len(counts)}"
+        )
+    total = sum(counts)
+    if total == 0:
+        return None
+    rank = q * total
+    cumulative = 0
+    for i, count in enumerate(counts):
+        cumulative += count
+        if cumulative >= rank and cumulative > 0:
+            if i == len(bounds):
+                return float(bounds[-1])
+            upper = float(bounds[i])
+            lower = float(bounds[i - 1]) if i else 0.0
+            within = rank - (cumulative - count)
+            if within < 0:
+                within = 0.0
+            return lower + (upper - lower) * (within / count)
+    return float(bounds[-1])  # pragma: no cover - unreachable (total > 0)
+
 
 Metric = Union[Counter, Gauge, Histogram]
 

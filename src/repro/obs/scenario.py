@@ -24,6 +24,7 @@ from repro.sim.engine import Engine
 from repro.workloads.sockperf import SockperfClient, SockperfServer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.streaming import StreamingAggregator
     from repro.tracing.spans import SpanForest
 
 QUICKSTART_CHAIN = ["vm1:udp_send", "host1:wire-out", "host2:wire-in", "vm2:app-copy"]
@@ -38,6 +39,7 @@ class ScenarioResult(NamedTuple):
     sampler: StatsSampler
     client: SockperfClient
     forest: "SpanForest"
+    streaming: "StreamingAggregator"
 
 
 def run_quickstart_scenario(
@@ -46,6 +48,7 @@ def run_quickstart_scenario(
     mps: int = 2000,
     sample_interval_ns: int = 50_000_000,
     shards: int = 2,
+    window_ns: int = 100_000_000,
 ) -> ScenarioResult:
     """Run the quickstart tracing scenario and return its observability.
 
@@ -75,6 +78,11 @@ def run_quickstart_scenario(
     for kernel in (scene.host1.node, scene.host2.node, scene.vm1.node, scene.vm2.node):
         tracer.add_agent(kernel)
     sampler = tracer.attach_stats_sampler(interval_ns=sample_interval_ns)
+    # The streaming query layer: tumbling windows over the quickstart
+    # chain, with the deterministic live emitter on (docs/STREAMING.md).
+    streaming = tracer.attach_streaming(
+        QUICKSTART_CHAIN, window_ns=window_ns, emit_interval_ns=window_ns
+    )
 
     sync = tracer.synchronize_clocks(
         scene.host1.node, scene.host1_ip, "dev:eth0",
@@ -109,8 +117,11 @@ def run_quickstart_scenario(
 
     engine.run(until=duration_ns)
     tracer.collect()
+    streaming.close_all()  # flush the tail windows after final collection
     # Reconstruct the span forest so the ``tracing`` stage of the
     # metrics contract is exercised by every scenario run.
     forest = tracer.span_forest(QUICKSTART_CHAIN)
     sampler.sample_now()  # final snapshot so the series covers the full run
-    return ScenarioResult(engine, tracer, tracer.obs, sampler, client, forest)
+    return ScenarioResult(
+        engine, tracer, tracer.obs, sampler, client, forest, streaming
+    )

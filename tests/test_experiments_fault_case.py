@@ -89,6 +89,7 @@ class TestFaultsCLI:
             "rows_match": True,
             "decomposition_match": True,
             "timeline_match": True,
+            "streaming_match": True,
             "loss_accounted": True,
         }
         legs = doc["legs"]

@@ -1,0 +1,60 @@
+"""Streaming under faults (docs/STREAMING.md + docs/FAULTS.md).
+
+The tap sits downstream of the resilient delivery layer, so its fault
+semantics are inherited, not reimplemented: with retries on, a faulty
+run's windows are byte-identical to the fault-free run's; with retries
+off, every abandoned shipment surfaces as a gap notice.  The unit-level
+rules (dedup, lateness, gap metrics) live in ``test_streaming.py``;
+these tests exercise them through the full fault experiment.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.fault_case import (
+    default_fault_plan,
+    run_fault_case,
+    run_fault_equivalence,
+)
+from repro.faults.plan import ChannelFaults, FaultPlan
+
+PACKETS = 60
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_fault_case(seed=7, plan=None, packets=PACKETS)
+
+
+class TestRetriesMakeWindowsIdentical:
+    def test_faulty_summary_matches_baseline_byte_for_byte(self, baseline):
+        faulty = run_fault_case(
+            seed=7, plan=default_fault_plan(7), packets=PACKETS, retries=True
+        )
+        assert faulty.deduped_batches > 0  # duplicates really reached ingest
+        assert faulty.streaming_summary == baseline.streaming_summary
+        assert faulty.streaming_gaps == 0
+
+    def test_equivalence_experiment_carries_the_invariant(self):
+        equivalence = run_fault_equivalence(seed=7, packets=PACKETS)
+        assert equivalence.streaming_match
+        assert equivalence.equivalent
+
+
+class TestLossSurfacesAsGaps:
+    def test_lossy_no_retries_run_reports_gap_notices(self, baseline):
+        lossy = run_fault_case(
+            seed=7,
+            plan=FaultPlan(seed=7, shipment=ChannelFaults(loss_prob=0.3)),
+            packets=PACKETS,
+            retries=False,
+        )
+        assert lossy.rows < baseline.rows  # loss really happened
+        assert lossy.streaming_gaps > 0
+        summary = json.loads(lossy.streaming_summary)
+        assert summary["gap_notices"] == lossy.streaming_gaps
+        # Gaps are whole shipments that never arrived -- the records the
+        # aggregator did see are still never double- or mis-counted.
+        assert summary["records"] == lossy.rows
+        assert summary["late_records"] == 0
