@@ -36,6 +36,8 @@ from repro.core import (
     VNetTracer,
 )
 from repro.faults import ChannelFaults, CrashEvent, FaultPlan, RingPressureEvent
+from repro.net.traceid import TraceIDEngine
+from repro.services import ServiceGraph
 from repro.sim import Engine
 
 __version__ = "1.0.0"
@@ -56,6 +58,8 @@ __all__ = [
     "RingPressureEvent",
     "DeployReport",
     "CollectReport",
+    "TraceIDEngine",
+    "ServiceGraph",
     "Engine",
     "__version__",
 ]

@@ -11,6 +11,9 @@
     python -m repro.cli faults --seed 7 --format json
     python -m repro.cli watch --window-ms 100
     python -m repro.cli watch --deterministic
+    python -m repro.cli scenarios
+    python -m repro.cli rpc --requests 40
+    python -m repro.cli rpc --deterministic
     python -m repro.cli bench --preset smoke
     python -m repro.cli bench --preset smoke --compare benchmarks/baseline.json
 
@@ -37,6 +40,16 @@ attached (see docs/STREAMING.md) and prints the closed window frames --
 per-flow throughput, per-hop latency/jitter, percentile sketches, and
 the top-K slowest flows -- as a table or JSON; `--deterministic` emits
 one canonical JSON document the CI determinism job byte-diffs.
+
+`scenarios` lists the shared ScenarioSpec registry (`repro.experiments`):
+every runnable scenario with its builder / runner / digest references;
+the bench harness and the determinism CI resolve from the same table.
+
+`rpc` runs the multi-tier service scenario (see docs/SERVICES.md): a
+declarative ServiceGraph compiled onto the simulated stack, every RPC
+carrying its parent's trace ID, reconstructed into a cross-service span
+forest; `--deterministic` emits one canonical JSON document the CI
+determinism job byte-diffs (also across shard counts).
 
 `bench` runs the benchmark harness over every `benchmarks/bench_*.py`
 scenario, writes a schema-versioned `BENCH_<timestamp>.json`, and can
@@ -416,6 +429,74 @@ def _watch(args) -> None:
     print(f"  top slowest: {slowest}")
 
 
+def _scenarios(args) -> None:
+    """List the shared ScenarioSpec registry (repro.experiments)."""
+    from repro.experiments import SCENARIOS, scenario_names
+
+    width = max(len(name) for name in scenario_names())
+    for name in scenario_names():
+        spec = SCENARIOS[name]
+        print(f"{name:<{width}}  {spec.title}")
+        if args.verbose:
+            print(f"{'':<{width}}    build:  {spec.build}")
+            print(f"{'':<{width}}    run:    {spec.run}")
+            print(f"{'':<{width}}    digest: {spec.digest}")
+
+
+def _rpc(args) -> int:
+    """Run the multi-tier RPC scenario (docs/SERVICES.md)."""
+    import json
+
+    from repro.experiments import get_scenario
+    from repro.experiments.rpc_case import deterministic_doc
+    from repro.streaming import canonical_json
+
+    run = get_scenario("rpc_case").run_fn()
+    result = run(seed=args.seed, requests=args.requests, shards=args.shards)
+
+    if args.format == "chrome":
+        output = result.chrome_json
+    elif args.deterministic or args.format == "json":
+        doc = deterministic_doc(result)
+        if args.deterministic:
+            output = canonical_json(doc) + "\n"
+        else:
+            output = json.dumps(doc, sort_keys=True, indent=2) + "\n"
+    else:
+        deployment = result.deployment
+        latencies = deployment.client_latencies
+        lines = [
+            f"rpc: {deployment.completed_requests}/{args.requests} requests "
+            f"completed over {len(deployment.nodes)} nodes "
+            f"({len(result.forest.trees)} trees, "
+            f"{result.forest.span_count()} spans, "
+            f"{len(deployment.links)} parent links)"
+        ]
+        if latencies:
+            lines.append(
+                f"  latency: min {min(latencies) / 1e3:.1f} us  "
+                f"avg {sum(latencies) / len(latencies) / 1e3:.1f} us  "
+                f"max {max(latencies) / 1e3:.1f} us"
+            )
+        for tier in deployment.graph.tiers:
+            replicas = deployment.services[tier.name]
+            lines.append(
+                f"  {tier.name:10s} x{len(replicas)}  "
+                f"requests {sum(s.requests_handled for s in replicas):4d}  "
+                f"responses {sum(s.responses_sent for s in replicas):4d}  "
+                f"calls issued {sum(s.calls_issued for s in replicas):4d}"
+            )
+        output = "\n".join(lines) + "\n"
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(output)
+        print(f"wrote {args.out}")
+    else:
+        print(output, end="")
+    return 0
+
+
 def _bench(args) -> int:
     from repro.bench import (
         build_report,
@@ -595,6 +676,34 @@ def build_parser() -> argparse.ArgumentParser:
     watch.add_argument("--deterministic", action="store_true",
                        help="emit one canonical JSON document (byte-diffable; "
                             "the CI determinism job diffs two runs)")
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="list the shared ScenarioSpec registry (repro.experiments)",
+    )
+    scenarios.add_argument("--verbose", action="store_true",
+                           help="also print each spec's build/run/digest "
+                                "references")
+    rpc = sub.add_parser(
+        "rpc",
+        help="run the multi-tier RPC service scenario and export the "
+             "cross-service span forest (docs/SERVICES.md)",
+    )
+    rpc.add_argument("--seed", type=int, default=21)
+    rpc.add_argument("--requests", type=_positive_int, default=40,
+                     help="root requests issued by the client tier")
+    rpc.add_argument("--shards", type=int, default=1,
+                     help="ShardedEngine shard count (0 = plain engine); "
+                          "output is byte-identical at any count")
+    rpc.add_argument("--format", choices=("summary", "json", "chrome"),
+                     default="summary",
+                     help="chrome = Perfetto-loadable trace-event JSON of "
+                          "the RPC span forest")
+    rpc.add_argument("--deterministic", action="store_true",
+                     help="emit one canonical JSON document (byte-diffable; "
+                          "the CI determinism job diffs runs and shard "
+                          "counts)")
+    rpc.add_argument("--out", metavar="PATH", default=None,
+                     help="write to a file instead of stdout")
     bench = sub.add_parser(
         "bench", help="run the benchmark harness over benchmarks/bench_*.py"
     )
@@ -636,6 +745,11 @@ def main(argv=None) -> int:
         return _bench(args)
     if args.command == "faults":
         return _faults(args)
+    if args.command == "scenarios":
+        _scenarios(args)
+        return 0
+    if args.command == "rpc":
+        return _rpc(args)
 
     args.duration_ns = args.duration_ms * 1_000_000
     if args.command == "stats":

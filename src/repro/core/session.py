@@ -48,6 +48,7 @@ class TracerSession:
         self.engine = engine if engine is not None else Engine()
         self.tracer = VNetTracer(self.engine, master_name, registry=registry)
         self.syncs: Dict[str, ClockSynchronizer] = {}
+        self.service_deployment = None  # set by with_service_graph
 
     # -- fluent configuration ----------------------------------------------
 
@@ -111,6 +112,33 @@ class TracerSession:
             top_k=top_k,
             emit_interval_ns=emit_interval_ns,
         )
+        return self
+
+    def with_service_graph(
+        self,
+        graph,
+        *,
+        seed: int = 0,
+        link_gbps: float = 1.0,
+        propagation_ns: int = 20_000,
+        enable_packet_ids: bool = True,
+    ) -> "TracerSession":
+        """Compile a :class:`~repro.services.graph.ServiceGraph` onto
+        this session's engine (docs/SERVICES.md): every replica node
+        gets an agent daemon, the ``vnt_rpc_*`` metrics register in
+        this tracer's registry, and the deployment lands on
+        ``self.service_deployment`` for load control and causality
+        links."""
+        deployment = graph.compile(
+            self.engine,
+            registry=self.tracer.obs,
+            seed=seed,
+            link_gbps=link_gbps,
+            propagation_ns=propagation_ns,
+        )
+        for node in deployment.nodes:
+            self.tracer.add_agent(node, enable_packet_ids=enable_packet_ids)
+        self.service_deployment = deployment
         return self
 
     @property

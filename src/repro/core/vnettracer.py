@@ -41,7 +41,7 @@ from repro.faults.inject import FaultInjector
 from repro.faults.plan import FaultPlan
 from repro.net.addressing import IPv4Address
 from repro.net.stack import KernelNode
-from repro.net.traceid import enable_trace_ids
+from repro.net.traceid import TraceIDEngine
 from repro.obs import contract as obs_contract
 from repro.obs.instrument import register_ebpf_metrics
 from repro.obs.registry import MetricsRegistry
@@ -97,7 +97,7 @@ class VNetTracer:
         if node.name in self.agents:
             return self.agents[node.name]
         if enable_packet_ids:
-            enable_trace_ids(node)
+            TraceIDEngine.attach(node)
         agent = Agent(node, self.collector, registry=self.obs)
         if self.fault_injector is not None:
             agent.set_fault_injector(self.fault_injector)
@@ -228,6 +228,13 @@ class VNetTracer:
     def span_tree(self, trace_id: int, chain: Optional[Sequence[str]] = None):
         """One packet's reconstructed span tree (or ``None``)."""
         return self.span_assembler().tree(trace_id, chain=chain)
+
+    def rpc_forest(self, links, chain: Optional[Sequence[str]] = None):
+        """Cross-service span forest from the traced rows plus the
+        parent/child causality ``links`` a
+        :class:`~repro.services.runtime.ServiceDeployment` recorded
+        (docs/SERVICES.md)."""
+        return self.span_assembler().rpc_forest(links, chain=chain)
 
     # -- metrics convenience --------------------------------------------------------------
 

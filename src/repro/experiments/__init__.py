@@ -14,5 +14,129 @@ ovs_case            Case Study I: Fig. 8(b), Fig. 9(a), Fig. 9(b)
 xen_case            Case Study II: Fig. 10(a/b), Fig. 11(a/b)
 container_case      Case Study III: Fig. 12(b), Fig. 13(a/b)
 clocksync_case      §III-B Cristian estimation accuracy (Fig. 4)
+rpc_case            cross-service RPC tracing (docs/SERVICES.md)
 ==================  ================================================
+
+The shared :class:`ScenarioSpec` registry is the discovery surface:
+the CLI, the bench harness, and the determinism CI all resolve
+scenarios from :data:`SCENARIOS` instead of importing per-module entry
+points.  Specs hold *dotted references* (``"module:attr"``) so listing
+scenarios stays import-cheap; the referenced callables load lazily via
+:meth:`ScenarioSpec.build_fn` / :meth:`ScenarioSpec.run_fn` /
+:meth:`ScenarioSpec.digest_fn`.  The historical per-module entry
+points remain the implementations, so importing them directly keeps
+working.
 """
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One discoverable scenario: name, builder, runner, digest.
+
+    All three references are lazy ``"module:attr"`` strings:
+
+    * ``build`` -- constructs the scenario's topology / config without
+      running it (a scene builder, a ServiceGraph, a FleetConfig ...);
+    * ``run`` -- the full runner returning the scenario's result object;
+    * ``digest`` -- a zero-to-few-argument callable returning a short
+      deterministic hex digest of a small run, for determinism CI.
+    """
+
+    name: str
+    title: str
+    build: str
+    run: str
+    digest: str
+
+    @staticmethod
+    def _resolve(ref: str) -> Callable:
+        module_name, sep, attr = ref.partition(":")
+        if not sep or not attr:
+            raise ValueError(f"scenario reference {ref!r} is not 'module:attr'")
+        return getattr(importlib.import_module(module_name), attr)
+
+    def build_fn(self) -> Callable:
+        return self._resolve(self.build)
+
+    def run_fn(self) -> Callable:
+        return self._resolve(self.run)
+
+    def digest_fn(self) -> Callable:
+        return self._resolve(self.digest)
+
+
+SCENARIOS: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add a spec to the shared table (duplicate names are an error)."""
+    if spec.name in SCENARIOS:
+        raise ValueError(f"scenario {spec.name!r} already registered")
+    SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; registered: {', '.join(scenario_names())}"
+        ) from None
+
+
+def scenario_names() -> Tuple[str, ...]:
+    return tuple(sorted(SCENARIOS))
+
+
+register_scenario(
+    ScenarioSpec(
+        name="quickstart",
+        title="Two-host KVM quickstart with the full observability stack",
+        build="repro.experiments.topologies:build_two_host_kvm",
+        run="repro.obs.scenario:run_quickstart_scenario",
+        digest="repro.obs.scenario:quickstart_digest",
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="ovs_case",
+        title="Case Study I: OVS congestion (Fig. 8b / 9a / 9b)",
+        build="repro.experiments.topologies:build_ovs_case",
+        run="repro.experiments.ovs_case:run_case",
+        digest="repro.experiments.ovs_case:ovs_case_digest",
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="fault_case",
+        title="Fault-equivalence: lossy control/shipment vs fault-free",
+        build="repro.experiments.fault_case:build_pair",
+        run="repro.experiments.fault_case:run_fault_case",
+        digest="repro.experiments.fault_case:fault_case_digest",
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="macro_fleet",
+        title="1000-node sharded fleet simulation",
+        build="repro.experiments.macro_fleet:FleetConfig",
+        run="repro.experiments.macro_fleet:run_macro_fleet",
+        digest="repro.experiments.macro_fleet:macro_fleet_digest",
+    )
+)
+register_scenario(
+    ScenarioSpec(
+        name="rpc_case",
+        title="Cross-service RPC tracing over a declarative ServiceGraph",
+        build="repro.experiments.rpc_case:default_service_graph",
+        run="repro.experiments.rpc_case:run_rpc_case",
+        digest="repro.experiments.rpc_case:rpc_case_digest",
+    )
+)

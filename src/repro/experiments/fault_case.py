@@ -275,3 +275,27 @@ def run_fault_equivalence(
             faulty.streaming_summary == baseline.streaming_summary
         ),
     )
+
+
+# Public builder alias for the ScenarioSpec registry (the historical
+# underscore name stays, as tests and this module use it directly).
+build_pair = _build_pair
+
+
+def fault_case_digest(seed: int = 7, packets: int = 60) -> str:
+    """16-hex-char digest of a small deterministic run (the
+    ScenarioSpec registry's digest hook): the faulty-with-retries leg,
+    whose end-to-end results must also equal the fault-free leg's."""
+    import hashlib
+
+    result = run_fault_case(seed=seed, plan=default_fault_plan(seed), packets=packets)
+    fingerprint = repr(
+        (
+            result.rows,
+            result.rows_by_label,
+            result.timeline_json,
+            result.streaming_summary,
+            result.records_lost,
+        )
+    )
+    return hashlib.sha256(fingerprint.encode()).hexdigest()[:16]

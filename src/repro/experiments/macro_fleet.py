@@ -513,3 +513,11 @@ def run_macro_fleet(
         }
     )
     return merged
+
+
+def macro_fleet_digest(ticks: int = 10, shards: int = 4) -> str:
+    """16-hex-char digest of a small deterministic run (the
+    ScenarioSpec registry's digest hook); the fleet result already
+    carries its own order-insensitive digest."""
+    result = run_macro_fleet(FleetConfig(ticks=ticks), shards=shards)
+    return result.digest16

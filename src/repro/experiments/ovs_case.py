@@ -258,3 +258,21 @@ def run_fig9b(seed: int = 13, duration_ns: int = 1_000_000_000):
             case, seed=seed, duration_ns=duration_ns, rate_limit=True
         ).sockperf
     return results
+
+
+def ovs_case_digest(case: str = "I", seed: int = 13, duration_ns: int = 200_000_000) -> str:
+    """16-hex-char digest of a small deterministic run (the
+    ScenarioSpec registry's digest hook)."""
+    import hashlib
+
+    result = run_case(case, seed=seed, duration_ns=duration_ns)
+    fingerprint = repr(
+        (
+            result.case,
+            result.sockperf,
+            result.iperf_goodputs_bps,
+            result.policer_drops,
+            result.queue_drops,
+        )
+    )
+    return hashlib.sha256(fingerprint.encode()).hexdigest()[:16]

@@ -48,6 +48,76 @@ HOOK_GET_RPS_CPU = "kprobe:get_rps_cpu"
 HOOK_SKB_COPY_DATAGRAM = "kprobe:skb_copy_datagram_iovec"
 
 
+class PacketMetadataHooks:
+    """Explicit registry of packet-metadata engines attached to a node.
+
+    Historically the trace-ID patch lived in a magic ``node.traceid``
+    attribute that :func:`repro.net.traceid.enable_trace_ids` assigned
+    from the outside.  This registry replaces that comment-coupling
+    with a declared interface: any engine that rewrites wire bytes at
+    the kernel's metadata points (``udp_send_skb``, the pre-copy trim,
+    ``tcp_options_write``) registers here, and a node can carry several
+    such engines without attribute collisions.
+
+    An engine implements any subset of the hook methods below; each
+    returns the CPU cost (ns) its rewrite charges, and the stack sums
+    the costs across engines.
+    """
+
+    _METHODS = ("on_udp_send", "on_udp_deliver", "on_tcp_options")
+
+    def __init__(self) -> None:
+        self.engines: List[object] = []
+
+    def register(self, engine: object) -> object:
+        """Add ``engine`` (idempotent); it must implement at least one
+        hook method."""
+        if not any(hasattr(engine, m) for m in self._METHODS):
+            raise StackError(
+                f"packet-metadata engine {engine!r} implements none of {self._METHODS}"
+            )
+        if engine not in self.engines:
+            self.engines.append(engine)
+        return engine
+
+    def find(self, kind: type) -> Optional[object]:
+        """The first registered engine of class ``kind``, or ``None``."""
+        for engine in self.engines:
+            if isinstance(engine, kind):
+                return engine
+        return None
+
+    def on_udp_send(self, packet: Packet, mtu: Optional[int] = None, parent=None) -> int:
+        """``udp_send_skb`` time: engines may append wire bytes."""
+        return sum(
+            engine.on_udp_send(packet, mtu=mtu, parent=parent)
+            for engine in self.engines
+            if hasattr(engine, "on_udp_send")
+        )
+
+    def on_udp_deliver(self, packet: Packet) -> int:
+        """Pre-copy trim time: engines remove what they appended."""
+        return sum(
+            engine.on_udp_deliver(packet)
+            for engine in self.engines
+            if hasattr(engine, "on_udp_deliver")
+        )
+
+    def on_tcp_options(self, packet: Packet, parent=None) -> int:
+        """``tcp_options_write`` time: engines may add TCP options."""
+        return sum(
+            engine.on_tcp_options(packet, parent=parent)
+            for engine in self.engines
+            if hasattr(engine, "on_tcp_options")
+        )
+
+    def __len__(self) -> int:
+        return len(self.engines)
+
+    def __iter__(self):
+        return iter(self.engines)
+
+
 class Route(NamedTuple):
     network: IPv4Address
     prefix_len: int
@@ -87,9 +157,12 @@ class UDPSocket:
         payload: bytes,
         app: str = "",
         app_seq: int = 0,
+        parent_id=None,
     ) -> None:
         self.tx_packets += 1
-        self.node.udp_send(self, dst_ip, dst_port, payload, app=app, app_seq=app_seq)
+        self.node.udp_send(
+            self, dst_ip, dst_port, payload, app=app, app_seq=app_seq, parent_id=parent_id
+        )
 
     def deliver(self, payload: bytes, src_ip: IPv4Address, src_port: int, packet: Packet) -> None:
         if self.closed:
@@ -150,13 +223,21 @@ class KernelNode:
         self.neighbors: Dict[int, MACAddress] = {}
         self._udp_sockets: Dict[tuple, UDPSocket] = {}
         self._vxlan_ports: Dict[int, object] = {}  # udp port -> VXLANDevice
-        self.traceid = None  # set by repro.net.traceid.enable_trace_ids
+        self.packet_hooks = PacketMetadataHooks()
         self.icmp = None  # set by repro.net.icmp.ICMPResponder
         self._tcp: Optional["TCPStack"] = None
         self.ip_forward = False
 
     def register_icmp(self, responder) -> None:
         self.icmp = responder
+
+    @property
+    def traceid(self):
+        """Back-compat view of the trace-ID engine inside the explicit
+        :class:`PacketMetadataHooks` registry (may be ``None``)."""
+        from repro.net.traceid import TraceIDEngine
+
+        return self.packet_hooks.find(TraceIDEngine)
 
     # -- plumbing -----------------------------------------------------------
 
@@ -315,6 +396,7 @@ class KernelNode:
         payload: bytes,
         app: str = "",
         app_seq: int = 0,
+        parent_id=None,
     ) -> None:
         route = self.route_lookup(dst_ip)
         device = route.device
@@ -336,11 +418,12 @@ class KernelNode:
 
         def stage_udp_send_skb() -> None:
             packet.log_point(self.name, "udp_send_skb", self.engine.now, cpu.index)
-            # The trace ID is written first (the paper's kernel patch
-            # runs inside udp_send_skb), so a probe here already sees it.
-            embed_cost = 0
-            if self.traceid is not None:
-                embed_cost = self.traceid.embed_udp(packet)
+            # Metadata engines write first (the paper's kernel patch
+            # runs inside udp_send_skb), so a probe here already sees
+            # the trace ID on the wire bytes.
+            embed_cost = self.packet_hooks.on_udp_send(
+                packet, mtu=device.mtu, parent=parent_id
+            )
             hook_cost = self.fire_function_hook(HOOK_UDP_SEND_SKB, packet, cpu, device)
             self.charge(cpu, hook_cost + embed_cost, stage_ip_output, front=True)
 
@@ -473,9 +556,7 @@ class KernelNode:
             copy_hook_cost = self.fire_function_hook(
                 HOOK_SKB_COPY_DATAGRAM, packet, cpu, device
             )
-            strip_cost = 0
-            if self.traceid is not None:
-                strip_cost = self.traceid.strip_udp(packet)
+            strip_cost = self.packet_hooks.on_udp_deliver(packet)
             payload = packet.payload if isinstance(packet.payload, bytes) else b""
 
             def finish() -> None:

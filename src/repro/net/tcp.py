@@ -114,6 +114,10 @@ class TCPConnection:
         self._app_pending = 0
         self._sending = False
         self._rto_event = None
+        # RPC causality: when set, every segment's trace-ID option also
+        # carries this parent ID (retransmits re-embed it, so duplicate
+        # parents on the wire are expected and deduped at reassembly).
+        self.trace_parent: Optional[int] = None
 
         # Callbacks
         self.on_established: Optional[Callable[["TCPConnection"], None]] = None
@@ -227,9 +231,7 @@ class TCPConnection:
 
         def stage_options_write() -> None:
             hook_cost = node.fire_function_hook(HOOK_TCP_OPTIONS_WRITE, packet, cpu, device)
-            embed_cost = 0
-            if node.traceid is not None:
-                embed_cost = node.traceid.embed_tcp(packet)
+            embed_cost = node.packet_hooks.on_tcp_options(packet, parent=self.trace_parent)
             node.charge(
                 cpu,
                 hook_cost + embed_cost + node.noisy(costs.tcp_options_write_ns),

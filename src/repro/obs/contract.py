@@ -17,7 +17,14 @@ bytes, lazy-index rebuilds, and bulk blob ingests), ``shard`` (the
 sharded simulation substrate's rounds, per-shard event counts, and
 boundary traffic, see ``docs/SHARDING.md``), ``streaming`` (the live
 window-aggregation layer tapping packed-blob ingest downstream of the
-resequencer, see ``docs/STREAMING.md``).
+resequencer, see ``docs/STREAMING.md``), ``rpc`` (the multi-tier
+service layer exchanging traced RPCs over the simulated stack, see
+``docs/SERVICES.md``).
+
+The ``rpc`` stage only exists in runs that deploy a service graph, so
+scenario-level exhaustiveness checks use :data:`CORE_METRICS` /
+:data:`CORE_STAGES` (everything except ``rpc``); the RPC scenario's
+own tests assert the full :data:`ALL_METRICS` / :data:`ALL_STAGES`.
 """
 
 from __future__ import annotations
@@ -37,6 +44,7 @@ STAGE_FAULTS = "faults"
 STAGE_TRACEDB = "tracedb"
 STAGE_SHARD = "shard"
 STAGE_STREAMING = "streaming"
+STAGE_RPC = "rpc"
 
 # Fixed bucket bounds (upper edges; +Inf is implicit).  Batch sizes are
 # records per flush; latencies are nanoseconds of virtual time.
@@ -341,6 +349,42 @@ STREAM_WATERMARK = MetricSpec(
     "aligned timestamp, minus the allowed lateness.",
     "ns", STAGE_STREAMING)
 
+# -- rpc: the multi-tier service layer (docs/SERVICES.md) ---------------------
+
+RPC_LATENCY_BUCKETS_NS: Tuple[int, ...] = (
+    100_000, 300_000, 1_000_000, 3_000_000, 10_000_000, 30_000_000, 100_000_000,
+)
+
+RPC_REQUESTS = MetricSpec(
+    "vnt_rpc_requests_total", "counter",
+    "RPC requests handled per service tier (root tiers count the "
+    "requests they originate).",
+    "requests", STAGE_RPC, ("service",))
+RPC_RESPONSES = MetricSpec(
+    "vnt_rpc_responses_total", "counter",
+    "RPC responses sent upstream per service tier after fan-in "
+    "completes.",
+    "responses", STAGE_RPC, ("service",))
+RPC_CALLS = MetricSpec(
+    "vnt_rpc_calls_total", "counter",
+    "Child RPCs issued along each (caller tier, callee tier) edge of "
+    "the service graph.",
+    "calls", STAGE_RPC, ("caller", "callee"))
+RPC_LINKS_RECORDED = MetricSpec(
+    "vnt_rpc_links_recorded_total", "counter",
+    "Distinct parent/child trace-ID links read back from the wire "
+    "embed at RPC receivers.",
+    "links", STAGE_RPC)
+RPC_INFLIGHT = MetricSpec(
+    "vnt_rpc_inflight_requests", "gauge",
+    "Requests currently awaiting fan-in completion on each node.",
+    "requests", STAGE_RPC, ("node",))
+RPC_REQUEST_LATENCY = MetricSpec(
+    "vnt_rpc_request_latency_ns", "histogram",
+    "End-to-end latency of root requests, issue to final fan-in, as "
+    "observed by the originating tier.",
+    "ns", STAGE_RPC, ("service",), RPC_LATENCY_BUCKETS_NS)
+
 ALL_METRICS: Tuple[MetricSpec, ...] = (
     RING_APPENDED, RING_DROPPED, RING_FLUSHES, RING_FLUSH_BATCH, RING_OCCUPANCY_HWM,
     AGENT_PROBE_FIRES, AGENT_FLUSH_LATENCY, AGENT_BATCHES_SENT,
@@ -362,10 +406,21 @@ ALL_METRICS: Tuple[MetricSpec, ...] = (
     STREAM_RECORDS, STREAM_WINDOWS_CLOSED, STREAM_LATE_OR_GAP,
     STREAM_SKETCH_MERGES, STREAM_TOPK_EVICTIONS, STREAM_OPEN_WINDOWS,
     STREAM_WATERMARK,
+    RPC_REQUESTS, RPC_RESPONSES, RPC_CALLS, RPC_LINKS_RECORDED,
+    RPC_INFLIGHT, RPC_REQUEST_LATENCY,
 )
 
 ALL_STAGES: Tuple[str, ...] = (
     STAGE_RINGBUFFER, STAGE_AGENT, STAGE_COLLECTOR, STAGE_CLOCKSYNC,
     STAGE_EBPF, STAGE_SAMPLER, STAGE_TRACING, STAGE_FAULTS, STAGE_TRACEDB,
-    STAGE_SHARD, STAGE_STREAMING,
+    STAGE_SHARD, STAGE_STREAMING, STAGE_RPC,
+)
+
+# The contract minus the service layer: what every tracing scenario
+# exports even without a deployed ServiceGraph.
+CORE_METRICS: Tuple[MetricSpec, ...] = tuple(
+    spec for spec in ALL_METRICS if spec.stage != STAGE_RPC
+)
+CORE_STAGES: Tuple[str, ...] = tuple(
+    stage for stage in ALL_STAGES if stage != STAGE_RPC
 )

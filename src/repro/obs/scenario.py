@@ -125,3 +125,15 @@ def run_quickstart_scenario(
     return ScenarioResult(
         engine, tracer, tracer.obs, sampler, client, forest, streaming
     )
+
+
+def quickstart_digest(seed: int = 42, duration_ns: int = 250_000_000) -> str:
+    """16-hex-char digest of a small deterministic run (the
+    ScenarioSpec registry's digest hook): the canonical streaming
+    summary covers windows, sketches, and top-K, so any behavioural
+    drift lands in it."""
+    import hashlib
+
+    result = run_quickstart_scenario(seed=seed, duration_ns=duration_ns)
+    summary = result.streaming.summary_json()
+    return hashlib.sha256(summary.encode()).hexdigest()[:16]

@@ -1,0 +1,48 @@
+"""Multi-tier RPC services over the simulated stack (docs/SERVICES.md).
+
+``graph`` holds the declarative :class:`ServiceGraph` builder;
+``runtime`` holds the compiled deployment and the per-replica
+:class:`Service` event loop.
+"""
+
+from repro.services.graph import (
+    CALL_DEFAULTS,
+    RPC_PORT,
+    SERVICEGRAPH_DEFAULTS,
+    TIER_DEFAULTS,
+    CallSpec,
+    ServiceGraph,
+    ServiceGraphError,
+    TierSpec,
+)
+from repro.services.runtime import (
+    RESPONSE_PAYLOAD_BYTES,
+    RPC_KIND_REQUEST,
+    RPC_KIND_RESPONSE,
+    RPC_MESSAGE_FIELDS,
+    RPC_STRUCT,
+    Service,
+    ServiceDeployment,
+    ServiceEdge,
+    unpack_rpc,
+)
+
+__all__ = [
+    "CALL_DEFAULTS",
+    "RESPONSE_PAYLOAD_BYTES",
+    "RPC_KIND_REQUEST",
+    "RPC_KIND_RESPONSE",
+    "RPC_MESSAGE_FIELDS",
+    "RPC_PORT",
+    "RPC_STRUCT",
+    "SERVICEGRAPH_DEFAULTS",
+    "TIER_DEFAULTS",
+    "CallSpec",
+    "Service",
+    "ServiceDeployment",
+    "ServiceEdge",
+    "ServiceGraph",
+    "ServiceGraphError",
+    "TierSpec",
+    "unpack_rpc",
+]

@@ -96,8 +96,9 @@ def chrome_trace_dict(forest: SpanForest) -> Dict:
     if forest.control_root is not None:
         _chrome_process(forest.control_root, 0, "control-plane", events)
     for index, tree in enumerate(forest, start=1):
+        noun = "request" if tree.root.kind == "rpc" else "packet"
         _chrome_process(
-            tree.root, index, f"packet 0x{tree.trace_id:08x}", events
+            tree.root, index, f"{noun} 0x{tree.trace_id:08x}", events
         )
     return {
         "displayTimeUnit": "ns",

@@ -29,7 +29,7 @@ keep; see :func:`build_control_root`.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.tracedb import TraceDB, TraceRow
 from repro.obs import contract as obs_contract
@@ -143,6 +143,92 @@ def build_span_tree(
     )
 
 
+def build_rpc_forest(
+    db: TraceDB,
+    links: "Mapping[int, Tuple[int, ...]]",
+    chain: Optional[Sequence[str]] = None,
+) -> SpanForest:
+    """Cross-service span forest from trace rows plus causality links.
+
+    ``links`` maps a child trace ID to the parent trace IDs read back
+    from its wire embed (see ``ServiceDeployment.links``).  Each *root*
+    request -- an observed trace ID with no observed parent -- becomes
+    one tree whose spans are ``rpc`` wrappers: the wrapper holds the
+    packet's own span tree (when it formed one) plus the ``rpc``
+    wrappers of its child RPCs, so Perfetto/OTLP render the whole
+    multi-service request under a single track.  Cycles (impossible
+    without trace-ID collisions) and repeated links are ignored; the
+    primary (first) parent places a multi-parent fan-in child.
+    """
+    parent_of = {child: parents[0] for child, parents in links.items() if parents}
+    observed = list(db.trace_ids())
+    known = set(observed)
+    children: dict = {}
+    for child, parent in parent_of.items():
+        if child in known:
+            children.setdefault(parent, []).append(child)
+
+    def first_ts(tid: int) -> int:
+        rows = db.rows_for_trace(tid)
+        return rows[0].timestamp_ns if rows else 0
+
+    for kids in children.values():
+        kids.sort(key=lambda tid: (first_ts(tid), tid))
+
+    visited = set()
+
+    def assemble(tid: int) -> Optional[Tuple[Span, int]]:
+        if tid in visited:
+            return None
+        visited.add(tid)
+        rows = db.rows_for_trace(tid)
+        packet_tree = build_span_tree(db, tid, chain=chain)
+        child_spans: List[Span] = []
+        records = len(rows)
+        for kid in children.get(tid, ()):
+            built = assemble(kid)
+            if built is not None:
+                child_spans.append(built[0])
+                records += built[1]
+        bounds = [row.timestamp_ns for row in rows]
+        bounds.extend(span.start_ns for span in child_spans)
+        bounds.extend(span.end_ns for span in child_spans)
+        if packet_tree is not None:
+            bounds.extend((packet_tree.root.start_ns, packet_tree.root.end_ns))
+        if not bounds:
+            return None
+        span = Span(
+            name=f"rpc:0x{tid:08x}",
+            kind="rpc",
+            node=rows[0].node if rows else "",
+            start_ns=min(bounds),
+            end_ns=max(bounds),
+            attributes={
+                "trace_id": tid,
+                "parent_id": parent_of.get(tid, 0),
+                "rpc_children": len(child_spans),
+            },
+        )
+        if packet_tree is not None:
+            span.add_child(packet_tree.root)
+        for child in child_spans:
+            span.add_child(child)
+        return span, records
+
+    forest = SpanForest()
+    for tid in observed:
+        if parent_of.get(tid) in known:
+            continue  # placed under its parent's tree
+        built = assemble(tid)
+        if built is None:
+            continue
+        span, records = built
+        forest.trees.append(
+            SpanTree(trace_id=tid, root=span, record_count=records)
+        )
+    return forest
+
+
 def build_control_root(
     deploy_spans: Iterable[Tuple[int, int, str]],
     ship_spans: Iterable[Tuple[int, int, str, int]],
@@ -252,6 +338,18 @@ class SpanAssembler:
         self.orphan_records += forest.orphan_records
         if self._m_orphans is not None and forest.orphan_records:
             self._m_orphans.inc(forest.orphan_records)
+        return forest
+
+    def rpc_forest(
+        self,
+        links: Mapping[int, Tuple[int, ...]],
+        chain: Optional[Sequence[str]] = None,
+    ) -> SpanForest:
+        """Cross-service forest (see :func:`build_rpc_forest`), counted
+        into the ``tracing`` stage metrics like any other assembly."""
+        forest = build_rpc_forest(self.db, links, chain=chain)
+        for tree in forest.trees:
+            self._count_tree(tree)
         return forest
 
     def anomalies(self, forest: SpanForest, factor: float = 3.0):

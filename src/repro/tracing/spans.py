@@ -21,6 +21,9 @@ hop       one tracepoint pair inside a device
 wire      the gap between the last record on one node and the first
           on the next (transmission + anything untraced in between)
 control   control-plane activity (deploy, batch shipping)
+rpc       one RPC in a cross-service request tree: wraps the packet
+          tree of its own trace ID and nests its child RPCs
+          (docs/SERVICES.md)
 ========= ==========================================================
 
 Durations are integer nanoseconds and **telescoping**: the top-level
@@ -34,7 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
-SPAN_KINDS = ("packet", "device", "hop", "wire", "control")
+SPAN_KINDS = ("packet", "device", "hop", "wire", "control", "rpc")
 
 
 @dataclass

@@ -1,0 +1,99 @@
+"""docs/SERVICES.md is a contract: the documented tables must match the code.
+
+Same pattern as the STREAMING.md and OBSERVABILITY.md contract tests:
+
+* the metrics table mirrors the six ``RPC_*`` specs in the contract;
+* the RPC message table mirrors ``runtime.RPC_MESSAGE_FIELDS``, in order;
+* the config table mirrors ``graph.SERVICEGRAPH_DEFAULTS``.
+"""
+
+import re
+from pathlib import Path
+
+from repro.obs import contract
+from repro.services import RPC_MESSAGE_FIELDS, SERVICEGRAPH_DEFAULTS
+
+REPO = Path(__file__).resolve().parent.parent
+DOC_PATH = REPO / "docs" / "SERVICES.md"
+
+RPC_SPECS = (
+    contract.RPC_REQUESTS,
+    contract.RPC_RESPONSES,
+    contract.RPC_CALLS,
+    contract.RPC_LINKS_RECORDED,
+    contract.RPC_INFLIGHT,
+    contract.RPC_REQUEST_LATENCY,
+)
+
+
+def _section(name: str) -> str:
+    text = DOC_PATH.read_text()
+    match = re.search(
+        rf"<!-- {name}:begin -->\n(.*?)<!-- {name}:end -->", text, re.DOTALL
+    )
+    assert match, f"docs/SERVICES.md is missing the {name} marker block"
+    return match.group(1)
+
+
+def _table_rows(section: str):
+    """Yield the cell lists of every data row in a markdown table."""
+    for line in section.splitlines():
+        line = line.strip()
+        if not line.startswith("|") or set(line) <= {"|", "-", " "}:
+            continue
+        cells = [cell.strip() for cell in line.strip("|").split("|")]
+        if cells and cells[0] in ("metric", "field", "key"):
+            continue  # header row
+        yield cells
+
+
+def test_metrics_table_matches_contract():
+    documented = {}
+    for cells in _table_rows(_section("metrics")):
+        name, kind, unit, labels, _meaning = cells
+        documented[name.strip("`")] = (
+            kind,
+            unit,
+            ()
+            if labels == "—"
+            else tuple(label.strip("`") for label in labels.split(",")),
+        )
+    actual = {
+        spec.name: (spec.kind, spec.unit, spec.label_names) for spec in RPC_SPECS
+    }
+    assert documented == actual
+    # The contract's exhaustive list has no rpc metric the doc misses.
+    assert {s.name for s in RPC_SPECS} == {
+        s.name for s in contract.ALL_METRICS if s.stage == contract.STAGE_RPC
+    }
+
+
+def test_rpc_message_table_matches_fields_in_order():
+    documented = [
+        (cells[0].strip("`"), cells[1].strip("`"), cells[2])
+        for cells in _table_rows(_section("rpc-message"))
+    ]
+    assert documented == list(RPC_MESSAGE_FIELDS)
+
+
+def test_servicegraph_config_table_matches_defaults():
+    documented = {
+        cells[0].strip("`"): int(cells[1].replace(",", "").replace("_", ""))
+        for cells in _table_rows(_section("servicegraph-config"))
+    }
+    assert documented == dict(SERVICEGRAPH_DEFAULTS)
+
+
+def test_rpc_stage_excluded_from_core():
+    """CORE_* is ALL_* minus the rpc stage, nothing else."""
+    assert contract.STAGE_RPC in contract.ALL_STAGES
+    assert contract.STAGE_RPC not in contract.CORE_STAGES
+    assert set(contract.ALL_STAGES) - set(contract.CORE_STAGES) == {contract.STAGE_RPC}
+    assert [s for s in contract.ALL_METRICS if s.stage != contract.STAGE_RPC] == list(
+        contract.CORE_METRICS
+    )
+
+
+def test_readme_links_doc():
+    readme = (REPO / "README.md").read_text()
+    assert "docs/SERVICES.md" in readme

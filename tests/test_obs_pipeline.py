@@ -37,8 +37,10 @@ class TestQuickstartScenario:
         assert scenario.tracer.db.rows_inserted > 0
 
     def test_whole_contract_registered(self, scenario):
+        # The quickstart deploys no service graph, so it exports the
+        # core contract; the RPC scenario tests assert ALL_METRICS.
         assert scenario.registry.names() == sorted(
-            spec.name for spec in contract.ALL_METRICS
+            spec.name for spec in contract.CORE_METRICS
         )
 
     def test_every_stage_emits_nonzero(self, scenario):
@@ -46,7 +48,7 @@ class TestQuickstartScenario:
         for metric in scenario.registry.metrics():
             by_stage.setdefault(metric.spec.stage, 0.0)
             by_stage[metric.spec.stage] += abs(metric.total())
-        assert set(by_stage) == set(contract.ALL_STAGES)
+        assert set(by_stage) == set(contract.CORE_STAGES)
         zero_stages = [stage for stage, total in by_stage.items() if total == 0]
         assert zero_stages == []
 
@@ -100,7 +102,7 @@ class TestQuickstartScenario:
 
     def test_prometheus_exporter_nonzero_per_stage(self, scenario):
         text = prometheus_text(scenario.registry)
-        specs_by_name = {spec.name: spec for spec in contract.ALL_METRICS}
+        specs_by_name = {spec.name: spec for spec in contract.CORE_METRICS}
         nonzero_stages = set()
         for line in text.splitlines():
             if line.startswith("#"):
@@ -112,11 +114,11 @@ class TestQuickstartScenario:
                     base = base[: -len(suffix)]
             if base in specs_by_name and float(value) != 0:
                 nonzero_stages.add(specs_by_name[base].stage)
-        assert nonzero_stages == set(contract.ALL_STAGES)
+        assert nonzero_stages == set(contract.CORE_STAGES)
 
     def test_pipeline_health_report_renders(self, scenario):
         report = scenario.tracer.pipeline_health()
-        for spec in contract.ALL_METRICS:
+        for spec in contract.CORE_METRICS:
             assert spec.name in report
         assert "stats series:" in report
 
@@ -181,7 +183,7 @@ class TestStatsCLI:
 
         assert main(["stats", "--duration-ms", "150"]) == 0
         out = capsys.readouterr().out
-        for spec in contract.ALL_METRICS:
+        for spec in contract.CORE_METRICS:
             assert spec.name in out
 
     def test_json_output_parses(self, capsys):
@@ -189,4 +191,4 @@ class TestStatsCLI:
 
         assert main(["stats", "--duration-ms", "150", "--format", "json"]) == 0
         doc = json.loads(capsys.readouterr().out)
-        assert set(doc["metrics"]) == {spec.name for spec in contract.ALL_METRICS}
+        assert set(doc["metrics"]) == {spec.name for spec in contract.CORE_METRICS}

@@ -1,0 +1,190 @@
+"""The service layer: ServiceGraph builder, compiled wiring, RPC runtime.
+
+docs/SERVICES.md describes the layer; tests/test_rpc_case.py covers the
+full traced scenario.  This file covers the builder API's validation
+surface, the graph -> engine compilation, and the deterministic RPC
+exchange itself (fan-out/fan-in, parent links, metrics).
+"""
+
+import pytest
+
+from repro.net.traceid import TraceIDEngine, wire_record_id
+from repro.obs import contract
+from repro.obs.registry import MetricsRegistry
+from repro.services import (
+    RPC_PORT,
+    RPC_KIND_REQUEST,
+    RPC_KIND_RESPONSE,
+    ServiceGraph,
+    ServiceGraphError,
+    unpack_rpc,
+)
+from repro.sim.engine import Engine
+
+
+def _linear_graph():
+    return (
+        ServiceGraph()
+        .tier("client", replicas=1, work_ns=1_000)
+        .calls("backend", fanout=2, payload_bytes=48)
+        .tier("backend", replicas=2, work_ns=2_000)
+    )
+
+
+class TestBuilderValidation:
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ServiceGraphError, match="no tiers"):
+            ServiceGraph().validate()
+
+    def test_calls_before_tier_rejected(self):
+        with pytest.raises(ServiceGraphError, match="must follow"):
+            ServiceGraph().calls("backend")
+
+    def test_duplicate_tier_rejected(self):
+        with pytest.raises(ServiceGraphError, match="duplicate"):
+            ServiceGraph().tier("a").tier("a")
+
+    def test_non_identifier_name_rejected(self):
+        with pytest.raises(ServiceGraphError, match="identifier"):
+            ServiceGraph().tier("front-end")
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(ServiceGraphError, match="replicas"):
+            ServiceGraph().tier("a", replicas=0)
+
+    def test_zero_fanout_rejected(self):
+        with pytest.raises(ServiceGraphError, match="fanout"):
+            ServiceGraph().tier("a").calls("b", fanout=0)
+
+    def test_undeclared_target_rejected(self):
+        graph = ServiceGraph().tier("a").calls("ghost")
+        with pytest.raises(ServiceGraphError, match="undeclared"):
+            graph.validate()
+
+    def test_cycle_rejected_with_path(self):
+        graph = (
+            ServiceGraph()
+            .tier("root")
+            .calls("a")
+            .tier("a")
+            .calls("b")
+            .tier("b")
+            .calls("a")
+        )
+        with pytest.raises(ServiceGraphError, match="a -> b -> a"):
+            graph.validate()
+
+    def test_no_root_rejected(self):
+        graph = ServiceGraph().tier("a").calls("b").tier("b").calls("a")
+        with pytest.raises(ServiceGraphError, match="no root tier"):
+            graph.validate()
+
+    def test_forward_declared_target_is_fine(self):
+        _linear_graph().validate()
+
+    def test_root_tiers_are_uncalled_callers(self):
+        graph = _linear_graph()
+        assert [t.name for t in graph.root_tiers()] == ["client"]
+
+
+class TestCompile:
+    def test_nodes_and_edges_wired(self):
+        engine = Engine()
+        deployment = _linear_graph().compile(engine, seed=3)
+        assert [n.name for n in deployment.nodes] == [
+            "client0", "backend0", "backend1",
+        ]
+        # One point-to-point edge per (caller replica, callee replica).
+        assert len(deployment.edges) == 2
+        front = deployment.edge("client0", "backend0")
+        assert front.caller_ip != front.callee_ip
+        # Each node got a udp_payload trace-ID engine.
+        for node in deployment.nodes:
+            engine_attached = node.packet_hooks.find(TraceIDEngine)
+            assert engine_attached is not None
+            assert "udp_payload" in engine_attached.modes
+
+    def test_every_replica_binds_the_rpc_port(self):
+        engine = Engine()
+        deployment = _linear_graph().compile(engine)
+        for tier in deployment.graph.tiers:
+            for svc in deployment.services[tier.name]:
+                assert svc.tier.port == RPC_PORT
+
+    def test_compile_validates(self):
+        with pytest.raises(ServiceGraphError):
+            ServiceGraph().tier("a").calls("ghost").compile(Engine())
+
+
+class TestRPCExchange:
+    def _run(self, seed=5, requests=8):
+        engine = Engine()
+        registry = MetricsRegistry()
+        deployment = _linear_graph().compile(engine, seed=seed, registry=registry)
+        deployment.start_load(requests, interval_ns=500_000, start_ns=1_000)
+        engine.run()
+        return deployment, registry
+
+    def test_all_requests_complete_with_fan_in(self):
+        deployment, _ = self._run()
+        assert deployment.completed_requests == 8
+        assert len(deployment.client_latencies) == 8
+        assert all(latency > 0 for latency in deployment.client_latencies)
+        backends = deployment.services["backend"]
+        assert sum(s.requests_handled for s in backends) == 16  # fanout 2
+        assert sum(s.responses_sent for s in backends) == 16
+
+    def test_parent_links_recorded_in_collector_id_space(self):
+        deployment, _ = self._run()
+        # The root tier's own fan-out carries no parent (those requests
+        # ARE the roots); every backend response carries exactly one --
+        # the request that caused it.
+        assert len(deployment.links) == 8 * 2  # fanout-2 responses per root
+        for child, parents in deployment.links.items():
+            assert len(parents) == 1
+            assert child != parents[0]
+
+    def test_record_link_converts_and_dedups(self):
+        engine = Engine()
+        deployment = _linear_graph().compile(engine)
+        deployment.record_link(0x01020304, (0x0A0B0C0D,))
+        deployment.record_link(0x01020304, (0xFFFFFFFF,))  # dup child: kept first
+        deployment.record_link(None, (1,))
+        deployment.record_link(5, ())
+        assert deployment.links == {
+            wire_record_id(0x01020304): (wire_record_id(0x0A0B0C0D),)
+        }
+
+    def test_metrics_registered_and_counted(self):
+        _, registry = self._run()
+        for spec in contract.ALL_METRICS:
+            if spec.stage == contract.STAGE_RPC:
+                assert spec.name in registry.names()
+        assert registry.get("vnt_rpc_requests_total").total() > 0
+        assert registry.get("vnt_rpc_responses_total").total() > 0
+        assert registry.get("vnt_rpc_calls_total").total() == 16
+        assert registry.get("vnt_rpc_links_recorded_total").total() == 16
+        assert registry.get("vnt_rpc_inflight_requests").total() == 0  # drained
+        assert registry.get("vnt_rpc_request_latency_ns").total() == 8
+
+    def test_same_seed_same_run(self):
+        a, _ = self._run(seed=11)
+        b, _ = self._run(seed=11)
+        assert a.client_latencies == b.client_latencies
+        assert a.links == b.links
+
+    def test_different_seed_different_ids(self):
+        a, _ = self._run(seed=11)
+        b, _ = self._run(seed=12)
+        assert set(a.links) != set(b.links)
+
+
+class TestFraming:
+    def test_rpc_frame_round_trips(self):
+        from repro.services.runtime import _pack_rpc
+
+        payload = _pack_rpc(RPC_KIND_REQUEST, 2, 77, payload_bytes=64)
+        assert len(payload) == 64
+        assert unpack_rpc(payload) == (RPC_KIND_REQUEST, 2, 77)
+        small = _pack_rpc(RPC_KIND_RESPONSE, 0, 1, payload_bytes=0)
+        assert unpack_rpc(small) == (RPC_KIND_RESPONSE, 0, 1)
