@@ -4,6 +4,15 @@
 code".  Measures the simulated per-invocation cost of a realistic
 vNetTracer script (filter + ID extraction + record emission) in both
 execution modes, and its effect on a traced sockperf run.
+
+Each mode compiles and loads its program once, then fires it
+``STEADY_RUNS`` times against the same packet.  One-shot runs made the
+harness's ``ns_per_probe`` (wall / probe fires, at probe_fires=2)
+setup-dominated -- it reported the millisecond-scale compile+load cost
+as if it were per-probe.  The steady loop amortizes setup to noise, so
+the gated figure now tracks dispatch cost, which is what the paper's
+per-packet overhead claim is about.  The simulated costs reported in
+``metrics`` still come from single runs and stay deterministic.
 """
 
 from repro.core.compiler import compile_script
@@ -14,8 +23,13 @@ from repro.ebpf.vm import ExecutionEnv
 from repro.net.addressing import IPv4Address, MACAddress
 from repro.net.packet import IPPROTO_UDP, make_udp_packet
 
+# Steady-state probe fires per mode.  Large enough that load/compile
+# amortizes below the measurement floor, small enough to keep the smoke
+# suite quick.
+STEADY_RUNS = 400
 
-def _script_cost(jit: bool) -> tuple:
+
+def _script_cost(jit: bool, steady_runs: int = STEADY_RUNS) -> tuple:
     perf = PerfEventArray(num_cpus=2)
     tracepoint = TracepointSpec(node="n", hook="dev:x")
     program, maps = compile_script(
@@ -31,11 +45,21 @@ def _script_cost(jit: bool) -> tuple:
         IPv4Address("10.0.0.1"), IPv4Address("10.0.0.2"), 1, 11111, b"x" * 60,
     )
     ctx, data = build_skb_context(packet)
-    result = program.run(ExecutionEnv(maps=maps), ctx, data)
+    env = ExecutionEnv(maps=maps)
+    # First fire supplies the deterministic simulated costs; the rest
+    # keep the loaded program hot so wall-clock divides over dispatches,
+    # not over the one-time compile+load.
+    result = program.run(env, ctx, data)
+    for _ in range(steady_runs - 1):
+        program.run(env, ctx, data)
     return load_cost, result.cost_ns, result.insns_executed
 
 
 def test_ablation_interpreter_vs_jit(benchmark, once, report):
+    from repro.ebpf.vm import BPFProgram
+
+    fires_before = BPFProgram.global_runs()
+
     def scenario():
         return {"interp": _script_cost(jit=False), "jit": _script_cost(jit=True)}
 
@@ -55,6 +79,10 @@ def test_ablation_interpreter_vs_jit(benchmark, once, report):
     )
     assert jit_cost < interp_cost          # execution is cheaper
     assert jit_load > interp_load          # but loading pays compilation
+    # Steady-state regression guard: the harness's ns_per_probe is only
+    # meaningful if each mode actually fires its program in a loop.
+    assert BPFProgram.global_runs() - fires_before >= 2 * STEADY_RUNS
+
 
 def run(preset: str = "smoke") -> dict:
     """Benchmark-harness entry point (see docs/BENCHMARKS.md)."""
@@ -66,4 +94,5 @@ def run(preset: str = "smoke") -> dict:
         "jit_cost_ns": jit_cost,
         "interp_load_ns": interp_load,
         "jit_load_ns": jit_load,
+        "steady_runs_per_mode": STEADY_RUNS,
     }

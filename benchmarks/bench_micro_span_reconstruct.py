@@ -3,12 +3,14 @@
 The `repro timeline` verb folds every collected trace into a span tree
 (`repro.tracing.reconstruct`), so assembly cost scales with rows in the
 TraceDB.  This scenario drives record ingestion through engine events
-(per-node batch arrivals, the collector's shape), then reconstructs the
-full forest and serializes it to Chrome trace JSON -- the whole
-timeline hot path, gated on events/s against the committed baseline.
+(per-node batch arrivals as packed shipment blobs over
+`TraceDB.insert_packed` -- the collector's shape since the columnar
+rewrite), then reconstructs the full forest and serializes it to Chrome
+trace JSON -- the whole timeline hot path, gated on events/s against
+the committed baseline.
 """
 
-from repro.core.records import TraceRecord
+from repro.core.records import RECORD_STRUCT
 from repro.core.tracedb import TraceDB
 from repro.sim.engine import Engine
 
@@ -23,6 +25,7 @@ _CHAIN = (
     ("rx", "deliver"),
 )
 _HOP_NS = (9_000, 27_000, 9_500)
+_LABELS = {index: label for index, (_, label) in enumerate(_CHAIN)}
 
 
 def _build(total_traces: int) -> dict:
@@ -34,14 +37,19 @@ def _build(total_traces: int) -> dict:
     db.set_clock_skew("rx", -1_500_000)
 
     def ingest(first_trace: int) -> None:
-        # One "batch arrival": BATCH traces' worth of rows, per node.
+        # One "batch arrival": BATCH traces' worth of rows per node,
+        # shipped as one packed blob each (what an agent flush sends).
+        pack = RECORD_STRUCT.pack
+        blobs = {"tx": [], "rx": []}
         for trace_id in range(first_trace, first_trace + BATCH):
             base = 1_000_000 + trace_id * 40_000
             ts = base
             for index, (node, label) in enumerate(_CHAIN):
-                db.insert(node, label, TraceRecord(trace_id, index, ts, 64, 0))
+                blobs[node].append(pack(trace_id, index, ts, 64, 0))
                 if index < len(_HOP_NS):
                     ts += _HOP_NS[index]
+        for node, records in blobs.items():
+            db.insert_packed(node, b"".join(records), _LABELS)
 
     for first in range(1, total_traces + 1, BATCH):
         engine.schedule(first * 1_000, ingest, first)

@@ -234,11 +234,15 @@ def _timeline(args) -> int:
     from repro.tracing.spans import SpanForest
 
     result = run_quickstart_scenario(
-        seed=args.seed, duration_ns=args.duration_ns
+        seed=args.seed, duration_ns=args.duration_ns, shards=args.shards
     )
     tracer = result.tracer
     complete_only = args.flow == "complete"
     forest = tracer.span_forest(QUICKSTART_CHAIN, complete_only=complete_only)
+    if args.warm_cache:
+        # Assemble again and export the cache-served forest: the
+        # determinism CI job byte-diffs this against a cold-cache run.
+        forest = tracer.span_forest(QUICKSTART_CHAIN, complete_only=complete_only)
 
     if args.trace_id is not None:
         tree = forest.tree_for(args.trace_id)
@@ -526,7 +530,7 @@ def _bench(args) -> int:
             profile.enable()
         results = run_suite(
             preset=args.preset, only=args.only or None, bench_dir=bench_dir,
-            progress=progress,
+            progress=progress, repeat=args.repeat,
         )
         if profile is not None:
             profile.disable()
@@ -603,6 +607,15 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a non-negative integer, got {text!r}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Regenerate vNetTracer paper figures."
@@ -649,6 +662,17 @@ def build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("--anomaly-factor", type=float, default=3.0,
                           help="text format: flag spans above this multiple "
                                "of their hop's flow median")
+    timeline.add_argument("--shards", type=_nonnegative_int, default=2,
+                          metavar="N",
+                          help="engine shard count for the scenario run; 0 = "
+                               "plain single-heap engine (output is "
+                               "byte-identical at any count; the CI "
+                               "determinism job diffs 1 vs 4)")
+    timeline.add_argument("--warm-cache", action="store_true",
+                          help="assemble the forest twice and export the "
+                               "second, cache-served copy (byte-identical "
+                               "to the cold one; the CI determinism job "
+                               "diffs the two)")
     faults = sub.add_parser(
         "faults",
         help="run the fault-equivalence experiment: resilient delivery "
@@ -721,6 +745,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rewrite benchmarks/baseline.json from this run")
     bench.add_argument("--tolerance", type=float, default=0.5,
                        help="tolerance recorded with --update-baseline (default 0.5)")
+    bench.add_argument("--repeat", type=_positive_int, default=1, metavar="N",
+                       help="run each scenario N times and keep the fastest "
+                            "run (wall clock, counters, and metrics all from "
+                            "that run); best-of-N damps scheduler jitter "
+                            "(default 1)")
     bench.add_argument("--profile", type=int, nargs="?", const=25, default=None,
                        metavar="N",
                        help="wrap the run in cProfile and print the top N "

@@ -22,6 +22,13 @@ Query-side indexes are lazy and insert-invalidated:
   :meth:`first_ts_at`), and per trace, the set of labels it was seen at
   (:meth:`complete_traces`).
 
+Every mutation that can change what a consumer would read back --
+row inserts (single or packed), shipment dedup bookkeeping, clock-skew
+registration -- bumps :attr:`TraceDB.generation`, the monotonic counter
+the span layer keys its forest memo cache on (docs/TIMELINES.md):
+equal generations guarantee identical assembly output, so a cached
+forest may be served; any mutation forces a rebuild.
+
 :class:`TraceRow` views are materialized only at the API boundary, so
 existing callers (metrics, span reconstruction, reports) keep their
 row-level contract -- including iteration orders, which reproduce the
@@ -156,6 +163,12 @@ class TraceDB:
         self._trace_labels: Dict[int, set] = {}
         self._skew_ns: Dict[str, int] = {}  # node -> (master - node) offset
         self.rows_inserted = 0
+        # Monotonic mutation counter: bumped by every insert (single or
+        # packed), every shipment-dedup decision, and every clock-skew
+        # registration.  Consumers (SpanAssembler's forest memo cache)
+        # treat "same generation" as "assembly output cannot have
+        # changed".
+        self.generation = 0
         # (node, shipment seq) pairs already ingested -- the dedup index
         # behind at-least-once shipment (docs/FAULTS.md).
         self._seen_batches: set = set()
@@ -178,8 +191,11 @@ class TraceDB:
 
     def set_clock_skew(self, node: str, skew_ns: int) -> None:
         """Record the estimated offset to ADD to ``node`` timestamps to
-        express them on the master clock."""
+        express them on the master clock.  Counts as a mutation: device
+        spans stamp the current skew at assembly time, so cached forests
+        must not survive a skew change."""
         self._skew_ns[node] = int(skew_ns)
+        self.generation += 1
 
     def clock_skew(self, node: str) -> int:
         return self._skew_ns.get(node, 0)
@@ -224,6 +240,7 @@ class TraceDB:
         if record.trace_id:
             self._note_trace(record.trace_id, label, table, pos)
         self.rows_inserted += 1
+        self.generation += 1
         return TraceRow(
             trace_id=record.trace_id,
             tracepoint_id=record.tracepoint_id,
@@ -269,6 +286,7 @@ class TraceDB:
             count += 1
         self.rows_inserted += count
         self.bulk_batches += 1
+        self.generation += 1
         return count, unknown
 
     def mark_batch(self, node: str, seq: int) -> bool:
@@ -278,6 +296,7 @@ class TraceDB:
         at-least-once delivery contract: agents may send a batch more
         than once, the DB guarantees it lands at most once."""
         key = (node, seq)
+        self.generation += 1  # dedup bookkeeping is a mutation too
         if key in self._seen_batches:
             self.deduped_batches += 1
             return False
@@ -367,6 +386,76 @@ class TraceDB:
             rows.sort(key=lambda r: r.timestamp_ns)
             self._trace_rows[trace_id] = cached = rows
         return list(cached)
+
+    def trace_group_rows(
+        self,
+        trace_ids: Optional[Iterable[int]] = None,
+        snapshot: bool = True,
+    ) -> List[Tuple[int, List[Tuple[int, int, str, str, int, int]]]]:
+        """The span layer's group-by kernel: rows bucketed per trace.
+
+        Returns ``[(trace_id, rows), ...]`` in request order (default:
+        every indexed trace in first-seen order), where each ``rows``
+        list holds ``(timestamp_ns, seq, node, label, cpu, packet_len)``
+        tuples sorted by (aligned timestamp, global insertion order) --
+        exactly the order :meth:`rows_for_trace` produces, without
+        materializing :class:`TraceRow` objects.  ``seq`` is the row's
+        insertion rank within its trace; because it is unique, plain
+        tuple sort never compares past it, which makes ``list.sort``
+        the stable argsort the assembler needs.
+
+        With ``snapshot`` (the full-forest path) each touched table's
+        columns are converted to lists once up front (``array.tolist``
+        is a single C pass), so the per-row cost is two list indexes and
+        one tuple build; ``snapshot=False`` (single-trace lookups)
+        indexes the live arrays directly and never pays the O(table)
+        copy.
+        """
+        if trace_ids is None:
+            trace_ids = self._trace_refs.keys()
+        nodes = self._nodes
+        columns: Dict[str, tuple] = {}
+        groups: List[Tuple[int, List[Tuple[int, int, str, str, int, int]]]] = []
+        for trace_id in trace_ids:
+            refs = self._trace_refs.get(trace_id)
+            if not refs:
+                groups.append((trace_id, []))
+                continue
+            rows: List[Tuple[int, int, str, str, int, int]] = []
+            append = rows.append
+            seq = 0
+            for table, pos in refs:
+                cols = columns.get(table.label)
+                if cols is None:
+                    if snapshot:
+                        cols = (
+                            table.timestamp_ns.tolist(),
+                            table.node_idx.tolist(),
+                            table.cpu.tolist(),
+                            table.packet_len.tolist(),
+                        )
+                    else:
+                        cols = (
+                            table.timestamp_ns,
+                            table.node_idx,
+                            table.cpu,
+                            table.packet_len,
+                        )
+                    columns[table.label] = cols
+                append(
+                    (
+                        cols[0][pos],
+                        seq,
+                        nodes[cols[1][pos]],
+                        table.label,
+                        cols[2][pos],
+                        cols[3][pos],
+                    )
+                )
+                seq += 1
+            rows.sort()
+            groups.append((trace_id, rows))
+        return groups
 
     def record_count_for_trace(self, trace_id: int) -> int:
         """How many rows a trace has, without materializing them (the

@@ -213,6 +213,21 @@ SPAN_ANOMALIES = MetricSpec(
     "Leaf spans flagged as anomalous (duration above N x the flow "
     "median for that hop).",
     "spans", STAGE_TRACING)
+SPAN_FOREST_REBUILDS = MetricSpec(
+    "vnt_tracing_forest_rebuilds_total", "counter",
+    "Span-forest assemblies that ran the columnar batch pipeline "
+    "(cache miss or uncacheable request).",
+    "forests", STAGE_TRACING)
+SPAN_FOREST_CACHE_HITS = MetricSpec(
+    "vnt_tracing_forest_cache_hits_total", "counter",
+    "Span-forest requests served from the generation-keyed memo cache "
+    "(the TraceDB was unchanged since the matching rebuild).",
+    "forests", STAGE_TRACING)
+SPAN_GROUPS_ASSEMBLED = MetricSpec(
+    "vnt_tracing_groups_assembled_total", "counter",
+    "Per-trace row groups fed through the batch span assembler "
+    "(cache hits assemble zero groups).",
+    "groups", STAGE_TRACING)
 
 # -- faults + delivery retries (core/dispatcher.py, core/agent.py,
 #    core/collector.py, faults/inject.py) --------------------------------------
@@ -396,6 +411,7 @@ ALL_METRICS: Tuple[MetricSpec, ...] = (
     EBPF_COMPILE_PROGRAMS, EBPF_COMPILE_CACHE_HITS,
     SAMPLER_SAMPLES,
     SPAN_TREES, SPAN_SPANS, SPAN_ORPHANS, SPAN_ANOMALIES,
+    SPAN_FOREST_REBUILDS, SPAN_FOREST_CACHE_HITS, SPAN_GROUPS_ASSEMBLED,
     RETRY_DEPLOY_ATTEMPTS, RETRY_DEPLOY_RETRIES,
     RETRY_SHIP_ATTEMPTS, RETRY_SHIP_RETRIES,
     FAULT_CONTROL_INJECTED, FAULT_SHIPMENT_INJECTED,

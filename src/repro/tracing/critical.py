@@ -16,7 +16,7 @@ becomes tree arithmetic:
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Sequence
+from typing import Dict, List, NamedTuple, Sequence, Tuple
 
 from repro.core.metrics import SegmentLatency
 from repro.tracing.reconstruct import hop_name
@@ -60,15 +60,42 @@ def critical_path(tree: SpanTree) -> List[Span]:
     return path
 
 
+def _leaf_spans(forest: SpanForest) -> Dict[str, List[Tuple[SpanTree, Span]]]:
+    """Every leaf segment as ``(tree, span)``, grouped by hop name in
+    first-appearance order (dicts preserve insertion order); within a
+    group, pairs appear in (forest order, walk order).  One pass over
+    the forest, shared by the aggregation and the anomaly detector --
+    the detector used to re-walk every tree once per hop name."""
+    groups: Dict[str, List[Tuple[SpanTree, Span]]] = {}
+    get = groups.get
+    for tree in forest:
+        # Inlined pre-order walk: same visit order as Span.walk(), minus
+        # the generator overhead (this runs once per span in the forest).
+        stack = [tree.root]
+        pop = stack.pop
+        while stack:
+            span = pop()
+            kind = span.kind
+            if kind == "hop" or kind == "wire":
+                bucket = get(span.name)
+                if bucket is None:
+                    bucket = groups[span.name] = []
+                bucket.append((tree, span))
+            children = span.children
+            if children:
+                stack.extend(reversed(children))
+    return groups
+
+
 def _leaf_durations(forest: SpanForest):
     """Durations and kind of every leaf segment, keyed by hop name in
     first-appearance order (dicts preserve insertion order)."""
-    durations: Dict[str, List[int]] = {}
-    kinds: Dict[str, str] = {}
-    for tree in forest:
-        for span in tree.hop_spans():
-            durations.setdefault(span.name, []).append(span.duration_ns)
-            kinds.setdefault(span.name, span.kind)
+    groups = _leaf_spans(forest)
+    durations = {
+        name: [span.duration_ns for _, span in pairs]
+        for name, pairs in groups.items()
+    }
+    kinds = {name: pairs[0][1].kind for name, pairs in groups.items()}
     return durations, kinds
 
 
@@ -106,25 +133,24 @@ def flag_anomalies(forest: SpanForest, factor: float = 3.0) -> List[Anomaly]:
     flag; ordering is (hop first-appearance, then forest order)."""
     if factor <= 0:
         raise ValueError(f"anomaly factor must be positive, got {factor}")
-    durations, _ = _leaf_durations(forest)
-    medians = {name: _median(sorted(values)) for name, values in durations.items()}
+    groups = _leaf_spans(forest)
     anomalies = []
-    for name, median in medians.items():
+    for name, pairs in groups.items():
+        median = _median(sorted(span.duration_ns for _, span in pairs))
         if median <= 0:
             continue
         threshold = factor * median
-        for tree in forest:
-            for span in tree.hop_spans():
-                if span.name == name and span.duration_ns > threshold:
-                    anomalies.append(
-                        Anomaly(
-                            trace_id=tree.trace_id,
-                            name=name,
-                            duration_ns=span.duration_ns,
-                            median_ns=median,
-                            ratio=span.duration_ns / median,
-                        )
+        for tree, span in pairs:  # (forest order, walk order), as before
+            if span.duration_ns > threshold:
+                anomalies.append(
+                    Anomaly(
+                        trace_id=tree.trace_id,
+                        name=name,
+                        duration_ns=span.duration_ns,
+                        median_ns=median,
+                        ratio=span.duration_ns / median,
                     )
+                )
     return anomalies
 
 

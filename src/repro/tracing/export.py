@@ -22,6 +22,7 @@ diffs.
 from __future__ import annotations
 
 import json
+from json.encoder import encode_basestring_ascii as _escape
 from typing import Dict, List, Optional
 
 from repro.analysis.reports import format_ns
@@ -111,9 +112,165 @@ def chrome_trace_dict(forest: SpanForest) -> Dict:
     }
 
 
+_INF = float("inf")
+
+
+def _fast_value(value) -> str:
+    """One JSON value exactly as the canonical ``json.dumps`` settings
+    would emit it.  The scalar paths reproduce the C encoder's output
+    (``encode_basestring_ascii`` is the same escaper, ``repr`` is what
+    it uses for ints and finite floats); anything else falls back to
+    ``json.dumps`` itself."""
+    kind = type(value)
+    if kind is str:
+        return _escape(value)
+    if kind is bool:
+        return "true" if value else "false"
+    if kind is int:
+        return repr(value)
+    if kind is float and -_INF < value < _INF:
+        return repr(value)
+    return json.dumps(value, **_CANONICAL)
+
+
+# Escaped-string memo: span kinds, attribute keys, hop/device names and
+# node names recur across thousands of spans, so escaping each string
+# once dominates.  Bounded (cleared on overflow) so unique per-trace
+# names cannot grow it without limit.
+_ESCAPE_CACHE: Dict[str, str] = {}
+
+# (attribute keyset in insertion order, span kind, attribute values in
+# insertion order) -> rendered '{"args":{...},"cat":...' event prefix.
+# Attribute payloads repeat heavily (every hop span of a flow carries
+# the same cpu, every wire span the same endpoint pair), so most events
+# reduce to one lookup plus the five per-span tail fields.  Bounded
+# (cleared on overflow) because high-cardinality values -- trace IDs in
+# packet roots -- would otherwise grow it without limit.
+_EVENT_PREFIXES: Dict[tuple, str] = {}
+
+# Span durations repeat across traces of the same flow shape (a hop's
+# latency profile is narrow) while timestamps never do, so duration
+# reprs memoize well.  ns delta -> repr(delta / 1000.0); bounded.
+_DUR_REPRS: Dict[int, str] = {}
+
+
+def _escape_cached(value: str) -> str:
+    cached = _ESCAPE_CACHE.get(value)
+    if cached is None:
+        if len(_ESCAPE_CACHE) > (1 << 16):
+            _ESCAPE_CACHE.clear()
+        cached = _ESCAPE_CACHE[value] = _escape(value)
+    return cached
+
+
+def _chrome_process_fast(root: Span, pid: int, label: str, out: List[str]) -> None:
+    """Serialize one process track (metadata + span events) straight to
+    JSON fragments, matching :func:`_chrome_process`'s dicts under the
+    canonical settings: keys are emitted pre-sorted, the traversal is
+    the same pre-order, and tids are assigned in the same
+    first-appearance order."""
+    append = out.append
+    append(
+        '{"args":{"name":%s},"name":"process_name","ph":"M","pid":%d,"tid":0}'
+        % (_escape(label), pid)
+    )
+    tids: Dict[str, int] = {}
+    # One constant fragment per tid covers everything between "name" and
+    # "ts" in canonical sorted-key order (ph < pid < tid < ts).
+    tails: List[str] = []
+    prefixes = _EVENT_PREFIXES
+    dur_reprs = _DUR_REPRS
+    join = "".join
+    stack = [root]
+    pop = stack.pop
+    while stack:
+        span = pop()
+        node = span.node
+        tid = tids.get(node)
+        if tid is None:
+            tid = tids[node] = len(tids)
+            tails.append(',"ph":"X","pid":%d,"tid":%d,"ts":' % (pid, tid))
+        attributes = span.attributes
+        # dict views iterate in insertion order, so keys + values + kind
+        # pin down the rendered prefix exactly.
+        try:
+            prefix_key = (
+                tuple(attributes),
+                span.kind,
+                tuple(attributes.values()),
+            )
+            prefix = prefixes.get(prefix_key)
+        except TypeError:  # unhashable attribute value (list, dict)
+            prefix_key = None
+            prefix = None
+        if prefix is None:
+            prefix = (
+                '{"args":{'
+                + ",".join(
+                    _escape_cached(key) + ":" + _fast_value(attributes[key])
+                    for key in sorted(attributes)
+                )
+                + '},"cat":'
+                + _escape_cached(span.kind)
+            )
+            if prefix_key is not None:
+                if len(prefixes) > (1 << 15):
+                    prefixes.clear()
+                prefixes[prefix_key] = prefix
+        start_ns = span.start_ns
+        delta = span.end_ns - start_ns
+        dur = dur_reprs.get(delta)
+        if dur is None:
+            if len(dur_reprs) > (1 << 16):
+                dur_reprs.clear()
+            # ``repr`` of a finite float is exactly what the canonical
+            # encoder emits (same for the timestamp below).
+            dur = dur_reprs[delta] = repr(delta / 1000.0)
+        append(
+            join(
+                (
+                    prefix,
+                    ',"dur":',
+                    dur,
+                    ',"name":',
+                    _escape_cached(span.name),
+                    tails[tid],
+                    repr(start_ns / 1000.0),
+                    "}",
+                )
+            )
+        )
+        children = span.children
+        if children:
+            stack.extend(reversed(children))
+    for node, tid in tids.items():
+        append(
+            '{"args":{"name":%s},"name":"thread_name","ph":"M","pid":%d,"tid":%d}'
+            % (_escape_cached(node), pid, tid)
+        )
+
+
 def chrome_trace_json(forest: SpanForest) -> str:
-    """Canonical (byte-stable) serialization of :func:`chrome_trace_dict`."""
-    return _canonical_json(chrome_trace_dict(forest))
+    """Canonical (byte-stable) serialization of :func:`chrome_trace_dict`.
+
+    Built directly as a string in one pass over the forest -- no
+    intermediate event dicts -- but byte-identical to
+    ``json.dumps(chrome_trace_dict(forest), sort_keys=True,
+    separators=(",", ":")) + "\\n"``; the differential suite
+    (tests/test_tracing_batch.py) diffs the two on every scenario."""
+    events: List[str] = []
+    if forest.control_root is not None:
+        _chrome_process_fast(forest.control_root, 0, "control-plane", events)
+    for index, tree in enumerate(forest.trees, start=1):
+        noun = "request" if tree.root.kind == "rpc" else "packet"
+        _chrome_process_fast(
+            tree.root, index, f"{noun} 0x{tree.trace_id:08x}", events
+        )
+    return (
+        '{"displayTimeUnit":"ns","otherData":{"generator":"repro.tracing",'
+        '"orphan_records":%d,"trees":%d},"traceEvents":[%s]}\n'
+        % (forest.orphan_records, len(forest.trees), ",".join(events))
+    )
 
 
 # -- OTLP-style JSON ----------------------------------------------------------

@@ -70,10 +70,17 @@ class Span:
         return child
 
     def walk(self) -> Iterator["Span"]:
-        """Pre-order traversal (self first)."""
-        yield self
-        for child in self.children:
-            yield from child.walk()
+        """Pre-order traversal (self first).  Iterative: an explicit
+        stack instead of nested generator delegation, so walking a
+        forest costs one frame, not one per tree level."""
+        stack = [self]
+        pop = stack.pop
+        while stack:
+            span = pop()
+            yield span
+            children = span.children
+            if children:
+                stack.extend(reversed(children))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -90,6 +97,12 @@ class SpanTree:
     root: Span
     record_count: int
     duplicate_records: int = 0
+
+    # Span count memo (not a dataclass field): the batch assembler knows
+    # the count at build time and stamps it here so forest-wide totals
+    # never re-walk trees.  ``None`` (hand-built trees) falls back to a
+    # walk; stays valid because trees are never mutated after assembly.
+    _span_count = None
 
     @property
     def start_ns(self) -> int:
@@ -139,7 +152,10 @@ class SpanForest:
         return iter(self.trees)
 
     def span_count(self) -> int:
-        return sum(len(tree.spans()) for tree in self.trees)
+        return sum(
+            tree._span_count if tree._span_count is not None else len(tree.spans())
+            for tree in self.trees
+        )
 
     def tree_for(self, trace_id: int) -> Optional[SpanTree]:
         for tree in self.trees:

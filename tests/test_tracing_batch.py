@@ -1,0 +1,300 @@
+"""Differential suite for the batch span-reconstruction pipeline.
+
+The columnar batch assembler (`SpanAssembler` over
+`TraceDB.trace_group_rows`) replaced the per-row loop as the production
+path; the per-row code survives in-tree purely as the oracle
+(:func:`build_span_tree` / :func:`legacy_forest` /
+:func:`build_rpc_forest`).  This suite proves, on every end-to-end
+scenario the repo ships, that the two pipelines produce byte-identical
+exports -- Chrome trace JSON (including the fast one-pass serializer
+against the canonical ``json.dumps`` of the dict form), OTLP JSON, and
+the text timeline -- and that the generation-keyed forest cache can
+never serve a stale forest across any mutation path.
+"""
+
+import json
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.records import TraceRecord
+from repro.core.tracedb import TraceDB
+from repro.tracing.export import (
+    chrome_trace_dict,
+    chrome_trace_json,
+    otlp_json,
+    timeline_text,
+)
+from repro.tracing.reconstruct import (
+    SpanAssembler,
+    build_rpc_forest,
+    legacy_forest,
+)
+
+_CANONICAL = {"sort_keys": True, "separators": (",", ":")}
+
+
+def _canonical_chrome(forest) -> str:
+    return json.dumps(chrome_trace_dict(forest), **_CANONICAL) + "\n"
+
+
+def assert_forest_equivalent(db, chain, complete_only=True, control_root=None):
+    """Batch assembler vs per-row oracle, byte-compared on every export
+    format.  The fast Chrome serializer is additionally checked against
+    the canonical dumps of the dict form on the *oracle* forest, so a
+    bug that corrupted both batch paths the same way still gets caught
+    by the unchanged per-row dict exporter."""
+    assembler = SpanAssembler(db)
+    batch = assembler.forest(
+        chain=chain, complete_only=complete_only, control_root=control_root
+    )
+    oracle = legacy_forest(
+        db, None, chain, complete_only=complete_only, control_root=control_root
+    )
+    assert chrome_trace_json(batch) == _canonical_chrome(oracle)
+    assert chrome_trace_json(batch) == chrome_trace_json(oracle)
+    assert otlp_json(batch) == otlp_json(oracle)
+    assert timeline_text(batch, limit=None) == timeline_text(oracle, limit=None)
+    assert batch.orphan_records == oracle.orphan_records
+    assert batch.span_count() == oracle.span_count()
+    return batch
+
+
+# ---------------------------------------------------------------------------
+# Scenario differentials: every end-to-end flow the repo ships.
+# ---------------------------------------------------------------------------
+
+
+class TestScenarioDifferentials:
+    def test_quickstart(self):
+        from repro.obs.scenario import QUICKSTART_CHAIN, run_quickstart_scenario
+
+        result = run_quickstart_scenario(seed=42, duration_ns=250_000_000)
+        db = result.tracer.db
+        assert db.rows_inserted > 0
+        assert_forest_equivalent(db, list(QUICKSTART_CHAIN))
+        # Partial trees too (complete_only=False exercises the
+        # no-filter orphan accounting).
+        assert_forest_equivalent(db, list(QUICKSTART_CHAIN), complete_only=False)
+        assert_forest_equivalent(db, None, complete_only=False)
+
+    def test_quickstart_shard_counts_byte_identical(self):
+        from repro.obs.scenario import QUICKSTART_CHAIN, run_quickstart_scenario
+
+        docs = []
+        for shards in (1, 4):
+            result = run_quickstart_scenario(
+                seed=42, duration_ns=250_000_000, shards=shards
+            )
+            forest = assert_forest_equivalent(
+                result.tracer.db, list(QUICKSTART_CHAIN)
+            )
+            docs.append(chrome_trace_json(forest))
+        assert docs[0] == docs[1]
+
+    def test_ovs_case_iii(self):
+        from repro.experiments.ovs_case import run_case
+
+        result = run_case("III", duration_ns=150_000_000, trace=True)
+        assert result.tracer is not None and result.chain is not None
+        db = result.tracer.db
+        assert db.rows_inserted > 0
+        assert_forest_equivalent(db, result.chain)
+
+    def test_fault_case_both_legs(self):
+        from repro.experiments.fault_case import default_fault_plan, run_fault_case
+
+        for plan in (None, default_fault_plan()):
+            result = run_fault_case(seed=7, plan=plan, packets=80)
+            assert result.db is not None and result.db.rows_inserted > 0
+            assert_forest_equivalent(result.db, ["send", "recv"])
+            assert_forest_equivalent(result.db, ["send", "recv"], complete_only=False)
+
+    def test_macro_fleet(self):
+        from repro.experiments.macro_fleet import (
+            FLEET_CHAIN,
+            FleetConfig,
+            run_macro_fleet,
+        )
+
+        result = run_macro_fleet(FleetConfig(), shards=1)
+        assert result.db.rows_inserted > 0
+        assert_forest_equivalent(result.db, list(FLEET_CHAIN))
+
+    def test_rpc_case_both_shard_counts(self):
+        from repro.experiments.rpc_case import run_rpc_case
+
+        docs = []
+        for shards in (1, 4):
+            result = run_rpc_case(seed=21, requests=12, shards=shards)
+            db = result.tracer.db
+            links = result.deployment.links
+            assembler = SpanAssembler(db)
+            batch = assembler.rpc_forest(links)
+            oracle = build_rpc_forest(db, links)
+            assert chrome_trace_json(batch) == _canonical_chrome(oracle)
+            assert otlp_json(batch) == otlp_json(oracle)
+            assert timeline_text(batch, limit=None) == timeline_text(
+                oracle, limit=None
+            )
+            # Plain packet forests on the same DB must agree too.
+            assert_forest_equivalent(db, None, complete_only=False)
+            docs.append(chrome_trace_json(batch))
+        assert docs[0] == docs[1]
+
+
+# ---------------------------------------------------------------------------
+# Generation counter: every mutation path invalidates cached forests.
+# ---------------------------------------------------------------------------
+
+_LABELS = {0: "send", 1: "nic-out", 2: "nic-in", 3: "deliver"}
+_CHAIN = ["send", "nic-out", "nic-in", "deliver"]
+
+
+def _record(trace_id, tp, ts, length=64, cpu=0):
+    return TraceRecord(
+        trace_id=trace_id,
+        tracepoint_id=tp,
+        timestamp_ns=ts,
+        packet_len=length,
+        cpu=cpu,
+    )
+
+
+def _seed_db():
+    db = TraceDB()
+    for trace_id in (1, 2):
+        base = 1_000 + trace_id * 100_000
+        for tp, label in sorted(_LABELS.items()):
+            node = "tx" if tp < 2 else "rx"
+            db.insert(node, label, _record(trace_id, tp, base + tp * 1_000))
+    return db
+
+
+class TestGenerationAudit:
+    def test_insert_bumps_generation(self):
+        db = _seed_db()
+        before = db.generation
+        db.insert("tx", "send", _record(9, 0, 999_999))
+        assert db.generation > before
+
+    def test_insert_packed_bumps_generation(self):
+        db = _seed_db()
+        before = db.generation
+        db.insert_packed("tx", _record(9, 0, 999_999).pack(), _LABELS)
+        assert db.generation > before
+
+    def test_mark_batch_bumps_generation_even_on_dedup(self):
+        db = _seed_db()
+        before = db.generation
+        assert db.mark_batch("tx", 1) is True
+        assert db.generation > before
+        mid = db.generation
+        assert db.mark_batch("tx", 1) is False  # deduped -- still a mutation
+        assert db.generation > mid
+
+    def test_set_clock_skew_bumps_generation(self):
+        # Device spans read skew at assembly time, so a cached forest
+        # must not survive a skew change.
+        db = _seed_db()
+        before = db.generation
+        db.set_clock_skew("rx", -5_000)
+        assert db.generation > before
+
+    def test_cached_forest_invalidated_by_each_mutation(self):
+        db = _seed_db()
+        assembler = SpanAssembler(db)
+
+        def snapshot():
+            return chrome_trace_json(assembler.forest(chain=_CHAIN))
+
+        first = snapshot()
+        assert snapshot() == first
+        assert assembler.forest_cache_hits == 1
+
+        db.insert("tx", "send", _record(3, 0, 500_000))
+        db.insert("tx", "nic-out", _record(3, 1, 501_000))
+        db.insert("rx", "nic-in", _record(3, 2, 502_000))
+        db.insert("rx", "deliver", _record(3, 3, 503_000))
+        second = snapshot()
+        assert second != first  # new trace appeared: no stale forest
+
+        db.set_clock_skew("rx", -100_000)
+        third = snapshot()
+        assert third != second  # skew change re-aligned device offsets
+
+    def test_cache_hit_returns_equivalent_forest(self):
+        db = _seed_db()
+        assembler = SpanAssembler(db)
+        cold = assembler.forest(chain=_CHAIN)
+        rebuilds = assembler.forest_rebuilds
+        warm = assembler.forest(chain=_CHAIN)
+        assert assembler.forest_rebuilds == rebuilds  # served from cache
+        assert assembler.forest_cache_hits >= 1
+        assert chrome_trace_json(warm) == chrome_trace_json(cold)
+        assert otlp_json(warm) == otlp_json(cold)
+
+
+# ---------------------------------------------------------------------------
+# Property test: interleaved mutations never yield a stale cached forest.
+# ---------------------------------------------------------------------------
+
+_mutation_st = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("insert"),
+            st.integers(min_value=1, max_value=6),  # trace_id
+            st.integers(min_value=0, max_value=3),  # tracepoint
+            st.integers(min_value=0, max_value=2_000_000),  # ts
+        ),
+        st.tuples(
+            st.just("packed"),
+            st.integers(min_value=1, max_value=6),
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=2_000_000),
+        ),
+        st.tuples(
+            st.just("mark"),
+            st.integers(min_value=1, max_value=3),  # seq
+            st.just(0),
+            st.just(0),
+        ),
+        st.tuples(
+            st.just("skew"),
+            st.integers(min_value=-1_000_000, max_value=1_000_000),
+            st.just(0),
+            st.just(0),
+        ),
+        st.tuples(st.just("query"), st.just(0), st.just(0), st.just(0)),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestCacheFreshnessProperty:
+    @settings(
+        max_examples=60,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(ops=_mutation_st)
+    def test_cached_forest_always_matches_fresh_rebuild(self, ops):
+        db = TraceDB()
+        assembler = SpanAssembler(db)
+        for op, a, b, c in ops:
+            if op == "insert":
+                node = "tx" if b < 2 else "rx"
+                db.insert(node, _LABELS[b], _record(a, b, c))
+            elif op == "packed":
+                node = "tx" if b < 2 else "rx"
+                db.insert_packed(node, _record(a, b, c).pack(), _LABELS)
+            elif op == "mark":
+                db.mark_batch("tx", a)
+            elif op == "skew":
+                db.set_clock_skew("rx", a)
+            # Whether this call hits the memo or rebuilds, it must equal
+            # a from-scratch assembly over the per-row oracle.
+            cached = assembler.forest(chain=_CHAIN, complete_only=True)
+            fresh = legacy_forest(db, None, _CHAIN, complete_only=True)
+            assert chrome_trace_json(cached) == _canonical_chrome(fresh)
